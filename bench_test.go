@@ -1,0 +1,172 @@
+// Benchmarks regenerating the paper's tables and figures in reduced
+// configurations (3 runs instead of 10, 20k reference samples instead of
+// 50k). Each benchmark reports the headline quantities via b.ReportMetric so
+// `go test -bench` output doubles as a miniature experiment log; run
+// cmd/paperbench for paper-scale reproductions.
+package moheco_test
+
+import (
+	"io"
+	"testing"
+
+	"github.com/eda-go/moheco/internal/exp"
+)
+
+func benchConfig() exp.Config {
+	cfg := exp.Quick()
+	cfg.Progress = nil
+	return cfg
+}
+
+// findMethod returns the aggregate for a table row label.
+func findMethod(t *exp.TableResult, label string) *exp.MethodResult {
+	for i := range t.Methods {
+		if t.Methods[i].Label == label {
+			return &t.Methods[i]
+		}
+	}
+	return nil
+}
+
+// BenchmarkTable1 regenerates Table 1: deviation of the reported yield from
+// the reference estimate on example 1 for all five methods.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Table1and2(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.RenderDeviation(io.Discard)
+		if m := findMethod(res, "MOHECO"); m != nil {
+			b.ReportMetric(100*m.Deviation.Average, "MOHECO-dev-%")
+		}
+		if m := findMethod(res, "300 simulations (AS+LHS)"); m != nil {
+			b.ReportMetric(100*m.Deviation.Average, "300sim-dev-%")
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates Table 2: total simulation counts on example 1.
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Table1and2(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.RenderSims(io.Discard)
+		mo := findMethod(res, "MOHECO")
+		fx := findMethod(res, "500 simulations (AS+LHS)")
+		if mo != nil && fx != nil && fx.Sims.Average > 0 {
+			b.ReportMetric(mo.Sims.Average, "MOHECO-sims")
+			b.ReportMetric(fx.Sims.Average, "500sim-sims")
+			b.ReportMetric(100*mo.Sims.Average/fx.Sims.Average, "cost-ratio-%")
+		}
+	}
+}
+
+// BenchmarkTable3 regenerates Table 3: yield deviations on example 2.
+func BenchmarkTable3(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Runs = 2 // example 2 runs are long (paper: "a few hours in real practice")
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Table3and4(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.RenderDeviation(io.Discard)
+		if m := findMethod(res, "MOHECO"); m != nil {
+			b.ReportMetric(100*m.Deviation.Average, "MOHECO-dev-%")
+		}
+	}
+}
+
+// BenchmarkTable4 regenerates Table 4: total simulation counts on example 2.
+func BenchmarkTable4(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Runs = 2
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Table3and4(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.RenderSims(io.Discard)
+		mo := findMethod(res, "MOHECO")
+		fx := findMethod(res, "500 simulations (AS+LHS)")
+		if mo != nil && fx != nil && fx.Sims.Average > 0 {
+			b.ReportMetric(100*mo.Sims.Average/fx.Sims.Average, "cost-ratio-%")
+		}
+	}
+}
+
+// BenchmarkFig3 regenerates Fig. 3: the OCBA allocation inside one typical
+// population of example 1.
+func BenchmarkFig3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunFig3(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Render(io.Discard)
+		b.ReportMetric(100*res.HighSimShare, "high-yield-sim-share-%")
+		b.ReportMetric(100*res.Ratio, "vs-ASLHS-%")
+	}
+}
+
+// BenchmarkFig6 regenerates Fig. 6: the per-method average deviation and
+// simulation-count series of example 1.
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Table1and2(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		exp.RenderFig6(res, io.Discard)
+	}
+}
+
+// BenchmarkRSBNN regenerates the §3.4 response-surface comparison: NN
+// trained on MOHECO history predicting next-iteration yields.
+func BenchmarkRSBNN(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunRSB(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.FinalRMS, "final-RMS-%")
+	}
+}
+
+// BenchmarkPSWCD regenerates the §3.4 worst-case-versus-statistical
+// comparison: a corner-based sizing flow against MOHECO on true yield and
+// power (the over-design axis).
+func BenchmarkPSWCD(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunPSWCD(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.CornerYield, "corner-yield-%")
+		b.ReportMetric(100*res.MohecoYield, "MOHECO-yield-%")
+		b.ReportMetric(100*res.OverDesign, "overdesign-%")
+	}
+}
+
+// BenchmarkAblation runs the design-choice ablation study: MOHECO with the
+// sampler, acceptance sampling, memetic operator and promotion threshold
+// individually altered.
+func BenchmarkAblation(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Runs = 2
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunAblation(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Render(io.Discard)
+		for _, row := range res.Rows {
+			if row.Label == "MOHECO (baseline)" {
+				b.ReportMetric(row.Sims.Average, "baseline-sims")
+			}
+		}
+	}
+}

@@ -1,0 +1,113 @@
+// Command mohecorun runs a yield optimization on one of the built-in
+// problems and prints the result, including the final design, the reported
+// yield and a high-accuracy reference check.
+//
+// Usage:
+//
+//	mohecorun [-problem NAME] [-method NAME] [-maxsims N] [-seed S]
+//	          [-maxgens N] [-ref N] [-trace]
+//
+// Problems: foldedcascode (paper example 1), telescopic (example 2),
+// commonsource (quickstart). Methods: moheco, oo, fixed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	moheco "github.com/eda-go/moheco"
+)
+
+func main() {
+	var (
+		probName = flag.String("problem", "foldedcascode", "foldedcascode | telescopic | commonsource")
+		method   = flag.String("method", "moheco", "moheco | oo | fixed")
+		maxSims  = flag.Int("maxsims", 500, "stage-2 / per-candidate sample budget")
+		fixed    = flag.Int("fixedsims", 0, "fixed-budget per-candidate samples (fixed method; default maxsims)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		maxGens  = flag.Int("maxgens", 300, "generation cap")
+		refN     = flag.Int("ref", 50000, "reference MC samples for the final check (0 to skip)")
+		trace    = flag.Bool("trace", false, "print per-generation progress")
+	)
+	flag.Parse()
+
+	var p moheco.Problem
+	switch *probName {
+	case "foldedcascode":
+		p = moheco.NewFoldedCascodeProblem()
+	case "telescopic":
+		p = moheco.NewTelescopicProblem()
+	case "commonsource":
+		p = moheco.NewCommonSourceProblem()
+	default:
+		fatal(fmt.Errorf("unknown problem %q", *probName))
+	}
+	var m moheco.Method
+	switch *method {
+	case "moheco":
+		m = moheco.MethodMOHECO
+	case "oo":
+		m = moheco.MethodOOOnly
+	case "fixed":
+		m = moheco.MethodFixedBudget
+	default:
+		fatal(fmt.Errorf("unknown method %q", *method))
+	}
+
+	opts := moheco.DefaultOptions(m, *maxSims)
+	opts.Seed = *seed
+	opts.MaxGenerations = *maxGens
+	if *fixed > 0 {
+		opts.FixedSims = *fixed
+	}
+
+	fmt.Printf("problem : %s (%d design variables, %d process variables)\n",
+		p.Name(), p.Dim(), p.VarDim())
+	fmt.Printf("method  : %s (stage-2 budget %d)\n", m, *maxSims)
+	start := time.Now()
+	res, err := moheco.Optimize(p, opts)
+	if err != nil {
+		fatal(err)
+	}
+	if *trace {
+		for _, r := range res.History {
+			fmt.Printf("  gen %3d: feasible=%v yield=%.4f violation=%.4g sims=%d\n",
+				r.Gen, r.BestFeasible, r.BestYield, r.BestViolation, r.CumSims)
+		}
+	}
+	fmt.Printf("stopped : %s after %d generations, %s\n",
+		res.StopReason, res.Generations, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("sims    : %d circuit simulations\n", res.TotalSims)
+	if !res.Feasible {
+		fmt.Println("result  : no feasible design found")
+		os.Exit(2)
+	}
+	fmt.Printf("yield   : %.2f%% (reported, %d samples)\n", 100*res.BestYield, res.BestSamples)
+	fmt.Print("design  :")
+	for _, v := range res.BestX {
+		fmt.Printf(" %.5g", v)
+	}
+	fmt.Println()
+	perf, err := p.Evaluate(res.BestX, nil)
+	if err == nil {
+		fmt.Println("nominal performances:")
+		for i, s := range p.Specs() {
+			fmt.Printf("  %-10s %s %-12.5g got %.5g %s\n", s.Name, s.Sense, s.Bound, perf[i], s.Unit)
+		}
+	}
+	if *refN > 0 {
+		ref, err := moheco.EstimateYield(p, res.BestX, *refN, *seed+777)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("reference yield (%d MC samples): %.2f%% (deviation %.2f%%)\n",
+			*refN, 100*ref, 100*(res.BestYield-ref))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mohecorun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,127 @@
+// Command netlistsim runs the built-in MNA circuit simulator on a
+// SPICE-like netlist file: DC operating point and, optionally, an AC sweep
+// of one node.
+//
+// Usage:
+//
+//	netlistsim [-ac node] [-fstart F] [-fstop F] [-ppd N]
+//	           [-tran node] [-tstop T] [-tstep T] file.sp
+//
+// The netlist format supports R, C, V, I, E, G and M cards plus .model
+// lines; see internal/netlist. With -ac, the magnitude/phase response of
+// the named node is printed together with DC gain, unity-gain frequency and
+// phase margin.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"github.com/eda-go/moheco/internal/measure"
+	"github.com/eda-go/moheco/internal/netlist"
+	"github.com/eda-go/moheco/internal/spice"
+)
+
+func main() {
+	var (
+		acNode = flag.String("ac", "", "node for AC transfer analysis")
+		fStart = flag.Float64("fstart", 10, "AC sweep start frequency (Hz)")
+		fStop  = flag.Float64("fstop", 1e9, "AC sweep stop frequency (Hz)")
+		ppd    = flag.Int("ppd", 10, "AC sweep points per decade")
+		trNode = flag.String("tran", "", "node for transient analysis (PULSE sources drive it)")
+		tStop  = flag.Float64("tstop", 1e-6, "transient stop time (s)")
+		tStep  = flag.Float64("tstep", 1e-9, "transient step (s)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: netlistsim [flags] file.sp")
+		os.Exit(1)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	ckt, err := netlist.Parse(f, nil)
+	if err != nil {
+		fatal(err)
+	}
+	eng, err := spice.New(ckt, spice.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	op, err := eng.DCOperatingPoint()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("* %s\nDC operating point (%d Newton iterations):\n", ckt.Title, op.Iterations)
+	for i := 1; i < ckt.NumNodes(); i++ {
+		fmt.Printf("  V(%s) = %.6g V\n", ckt.NodeName(i), op.V[i])
+	}
+	if len(op.MOS) > 0 {
+		names := make([]string, 0, len(op.MOS))
+		for n := range op.MOS {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Println("devices:")
+		for _, n := range names {
+			m := op.MOS[n]
+			fmt.Printf("  %-8s %-10s ID=%.4g A  gm=%.4g S  gds=%.4g S  vdsat=%.3f V\n",
+				n, m.Region, m.ID, m.Gm, m.Gds, m.VDsat)
+		}
+	}
+	if *trNode != "" {
+		tr, err := eng.Transient(op, *tStop, *tStep)
+		if err != nil {
+			fatal(err)
+		}
+		wave, err := tr.VNode(ckt, *trNode)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("transient response at node %q (%d points):\n", *trNode, len(tr.Times))
+		stride := len(tr.Times) / 40
+		if stride < 1 {
+			stride = 1
+		}
+		for i := 0; i < len(tr.Times); i += stride {
+			fmt.Printf("  t=%-12.4g v=%.6g\n", tr.Times[i], wave[i])
+		}
+		if ts, over, ok := spice.Settling(tr.Times, wave, 1e-3); ok {
+			fmt.Printf("settles (±1mV) at t=%.4g s, overshoot %.1f%%\n", ts, 100*over)
+		}
+	}
+	if *acNode == "" {
+		return
+	}
+	freqs := spice.LogSpace(*fStart, *fStop, *ppd)
+	ac, err := eng.AC(op, freqs)
+	if err != nil {
+		fatal(err)
+	}
+	h, err := ac.VNode(ckt, *acNode)
+	if err != nil {
+		fatal(err)
+	}
+	bode := measure.NewBode(freqs, h)
+	fmt.Printf("AC response at node %q:\n", *acNode)
+	fmt.Printf("  %-14s %-10s %s\n", "freq (Hz)", "mag (dB)", "phase (deg)")
+	for i, f := range freqs {
+		fmt.Printf("  %-14.6g %-10.3f %.2f\n", f, bode.MagDB[i], bode.Phase[i])
+	}
+	fmt.Printf("DC gain: %.2f dB\n", bode.DCGainDB())
+	if fu, err := bode.UnityCrossing(); err == nil {
+		pm, _ := bode.PhaseMargin()
+		fmt.Printf("unity-gain frequency: %.4g Hz\nphase margin: %.1f deg\n", fu, pm)
+	} else {
+		fmt.Println("no unity-gain crossing in the swept range")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "netlistsim:", err)
+	os.Exit(1)
+}

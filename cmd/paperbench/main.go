@@ -1,0 +1,151 @@
+// Command paperbench regenerates the paper's experimental results: Tables
+// 1–4, Fig. 3, Fig. 6 and the §3.4 response-surface comparison.
+//
+// Usage:
+//
+//	paperbench [-full] [-quick] [-runs N] [-ref N] [-seed S] [-only LIST] [-v]
+//
+// By default it runs the full paper-scale configuration (10 runs per
+// method, 50,000-sample references). -quick switches to the reduced
+// configuration used by the benchmarks. -only selects a comma-separated
+// subset of {table12, table34, fig3, fig6, rsb}.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"github.com/eda-go/moheco/internal/exp"
+)
+
+func main() {
+	var (
+		quick  = flag.Bool("quick", false, "reduced configuration (3 runs, 20k references)")
+		runs   = flag.Int("runs", 0, "override the number of runs per method")
+		refN   = flag.Int("ref", 0, "override the reference sample count")
+		seed   = flag.Uint64("seed", 0, "override the experiment seed")
+		only   = flag.String("only", "", "comma-separated subset: table12,table34,fig3,fig6,rsb,pswcd,ablation")
+		verb   = flag.Bool("v", false, "print per-run progress")
+		csvDir = flag.String("csv", "", "also write per-run CSV files into this directory")
+	)
+	flag.Parse()
+
+	cfg := exp.Full()
+	if *quick {
+		cfg = exp.Quick()
+	}
+	if *runs > 0 {
+		cfg.Runs = *runs
+	}
+	if *refN > 0 {
+		cfg.RefSamples = *refN
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *verb {
+		cfg.Progress = os.Stderr
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, k := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(k)] = true
+		}
+	}
+	sel := func(k string) bool { return len(want) == 0 || want[k] }
+
+	start := time.Now()
+	var table12 *exp.TableResult
+	if sel("table12") || sel("fig6") {
+		t, err := exp.Table1and2(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		table12 = t
+	}
+	if sel("table12") {
+		fmt.Println()
+		table12.RenderDeviation(os.Stdout)
+		fmt.Println()
+		table12.RenderSims(os.Stdout)
+		writeCSV(*csvDir, "table12.csv", table12.WriteCSV)
+	}
+	if sel("table34") {
+		t, err := exp.Table3and4(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		t.RenderDeviation(os.Stdout)
+		fmt.Println()
+		t.RenderSims(os.Stdout)
+		writeCSV(*csvDir, "table34.csv", t.WriteCSV)
+	}
+	if sel("fig3") {
+		r, err := exp.RunFig3(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		r.Render(os.Stdout)
+		writeCSV(*csvDir, "fig3.csv", r.WriteCSV)
+	}
+	if sel("fig6") && table12 != nil {
+		fmt.Println()
+		exp.RenderFig6(table12, os.Stdout)
+	}
+	if sel("rsb") {
+		r, err := exp.RunRSB(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		exp.RenderRSB(r, os.Stdout)
+	}
+	if sel("pswcd") {
+		r, err := exp.RunPSWCD(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		r.Render(os.Stdout)
+	}
+	if sel("ablation") {
+		r, err := exp.RunAblation(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		r.Render(os.Stdout)
+	}
+	fmt.Fprintf(os.Stderr, "\npaperbench finished in %s\n", time.Since(start).Round(time.Second))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "paperbench:", err)
+	os.Exit(1)
+}
+
+// writeCSV writes one CSV artifact when -csv is set.
+func writeCSV(dir, name string, write func(io.Writer) error) {
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		fatal(err)
+	}
+}

@@ -1,0 +1,97 @@
+// Command yieldest estimates the Monte-Carlo yield of a given design point
+// on one of the built-in problems and prints the per-spec nominal
+// performance alongside the statistical estimate.
+//
+// Usage:
+//
+//	yieldest -problem foldedcascode -n 50000 [-seed S] [-x "v1,v2,..."]
+//
+// Without -x, the problem's built-in reference design is analyzed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	moheco "github.com/eda-go/moheco"
+	"github.com/eda-go/moheco/internal/circuits"
+	"github.com/eda-go/moheco/internal/constraint"
+)
+
+type refProblem interface {
+	moheco.Problem
+	ReferenceDesign() []float64
+}
+
+func main() {
+	var (
+		probName = flag.String("problem", "foldedcascode", "foldedcascode | telescopic | commonsource")
+		n        = flag.Int("n", 50000, "Monte-Carlo samples")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		xFlag    = flag.String("x", "", "comma-separated design vector (default: reference design)")
+	)
+	flag.Parse()
+
+	var p refProblem
+	switch *probName {
+	case "foldedcascode":
+		p = circuits.NewFoldedCascode()
+	case "telescopic":
+		p = circuits.NewTelescopic()
+	case "commonsource":
+		p = circuits.NewCommonSource()
+	default:
+		fatal(fmt.Errorf("unknown problem %q", *probName))
+	}
+
+	x := p.ReferenceDesign()
+	if *xFlag != "" {
+		parts := strings.Split(*xFlag, ",")
+		if len(parts) != p.Dim() {
+			fatal(fmt.Errorf("design needs %d values, got %d", p.Dim(), len(parts)))
+		}
+		x = make([]float64, len(parts))
+		for i, s := range parts {
+			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil {
+				fatal(err)
+			}
+			x[i] = v
+		}
+	}
+
+	perf, err := p.Evaluate(x, nil)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("problem: %s\nnominal performances:\n", p.Name())
+	feasible := true
+	for i, s := range p.Specs() {
+		ok := s.Satisfied(perf[i])
+		feasible = feasible && ok
+		mark := "ok"
+		if !ok {
+			mark = "VIOLATED"
+		}
+		fmt.Printf("  %-10s %s %-12.5g got %-12.5g %-4s %s\n", s.Name, s.Sense, s.Bound, perf[i], s.Unit, mark)
+	}
+	if !feasible {
+		fmt.Printf("total violation: %.4g\n", constraint.TotalViolation(p.Specs(), perf))
+	}
+	start := time.Now()
+	y, err := moheco.EstimateYield(p, x, *n, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("yield: %.3f%% (%d MC samples, %s)\n",
+		100*y, *n, time.Since(start).Round(time.Millisecond))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "yieldest:", err)
+	os.Exit(1)
+}

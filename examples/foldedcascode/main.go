@@ -1,0 +1,50 @@
+// Example 1 of the paper: yield optimization of a fully differential
+// folded-cascode amplifier in 0.35µm CMOS (80 process-variation variables).
+// Runs the three compared methods on the same problem and prints the
+// accuracy-versus-cost comparison behind Tables 1–2.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	moheco "github.com/eda-go/moheco"
+)
+
+func main() {
+	p := moheco.NewFoldedCascodeProblem()
+	fmt.Printf("example 1: %s\n", p.Name())
+	fmt.Printf("  %d design variables, %d process variables (15 devices × 4 + 20 inter-die)\n",
+		p.Dim(), p.VarDim())
+	for _, s := range p.Specs() {
+		fmt.Println("  spec:", s)
+	}
+	fmt.Println()
+
+	methods := []struct {
+		name string
+		m    moheco.Method
+	}{
+		{"MOHECO (OO + memetic)", moheco.MethodMOHECO},
+		{"OO+AS+LHS (no memetic)", moheco.MethodOOOnly},
+		{"AS+LHS 500 sims/candidate", moheco.MethodFixedBudget},
+	}
+	for _, mm := range methods {
+		opts := moheco.DefaultOptions(mm.m, 500)
+		opts.Seed = 7
+		start := time.Now()
+		res, err := moheco.Optimize(p, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ref, err := moheco.EstimateYield(p, res.BestX, 50000, 999)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s gens=%3d sims=%7d reported=%.2f%% reference=%.2f%% (%s)\n",
+			mm.name, res.Generations, res.TotalSims,
+			100*res.BestYield, 100*ref, time.Since(start).Round(time.Millisecond))
+	}
+	fmt.Println("\nSame reporting accuracy; the OO-based methods spend far fewer simulations.")
+}

@@ -1,0 +1,56 @@
+// Simulator-in-the-loop: the same quickstart yield problem evaluated two
+// ways — through the fast behavioural model and through the built-in MNA
+// circuit simulator (a perturbed netlist + DC + AC per Monte-Carlo sample,
+// the paper's HSPICE flow). Shows that the statistical machinery is
+// agnostic to the evaluator and measures the cost gap that motivates
+// budget allocation.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	moheco "github.com/eda-go/moheco"
+)
+
+func main() {
+	fast := moheco.NewCommonSourceProblem()
+	slow := moheco.NewCommonSourceSpiceProblem()
+	x := fast.ReferenceDesign()
+
+	fmt.Println("evaluating the same design through both paths (nominal):")
+	pf, err := fast.Evaluate(x, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ps, err := slow.Evaluate(x, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %-10s %14s %16s\n", "spec", "behavioural", "MNA simulator")
+	for i, s := range fast.Specs() {
+		fmt.Printf("  %-10s %14.5g %16.5g  (%s)\n", s.Name, pf[i], ps[i], s.Unit)
+	}
+
+	// Yield estimation through both paths; same sample budget.
+	const n = 400
+	t0 := time.Now()
+	yFast, err := moheco.EstimateYield(fast, x, n, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dFast := time.Since(t0)
+	t0 = time.Now()
+	ySlow, err := moheco.EstimateYield(slow, x, n, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dSlow := time.Since(t0)
+	fmt.Printf("\n%d-sample Monte-Carlo yield:\n", n)
+	fmt.Printf("  behavioural:   %6.2f%% in %v\n", 100*yFast, dFast.Round(time.Millisecond))
+	fmt.Printf("  MNA simulator: %6.2f%% in %v (%.0fx slower)\n",
+		100*ySlow, dSlow.Round(time.Millisecond), float64(dSlow)/float64(dFast))
+	fmt.Println("\nThe estimates agree within sampling error; the cost ratio is the")
+	fmt.Println("reason the paper allocates its simulation budget so carefully.")
+}

@@ -1,0 +1,52 @@
+package circuits
+
+import (
+	"testing"
+
+	"github.com/eda-go/moheco/internal/randx"
+	"github.com/eda-go/moheco/internal/sample"
+)
+
+// The per-sample evaluation cost bounds every statistical experiment; these
+// benchmarks document it per problem.
+
+func benchEvaluate(b *testing.B, p interface {
+	Evaluate(x, xi []float64) ([]float64, error)
+	VarDim() int
+}, x []float64) {
+	rng := randx.New(1)
+	xi := sample.PMC{}.Draw(rng, 1, p.VarDim())[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Evaluate(x, xi); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvaluateCommonSource(b *testing.B) {
+	p := NewCommonSource()
+	benchEvaluate(b, p, p.ReferenceDesign())
+}
+
+func BenchmarkEvaluateFoldedCascode(b *testing.B) {
+	p := NewFoldedCascode()
+	benchEvaluate(b, p, p.ReferenceDesign())
+}
+
+func BenchmarkEvaluateTelescopic(b *testing.B) {
+	p := NewTelescopic()
+	benchEvaluate(b, p, p.ReferenceDesign())
+}
+
+func BenchmarkEvaluateNominalFoldedCascode(b *testing.B) {
+	p := NewFoldedCascode()
+	x := p.ReferenceDesign()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Evaluate(x, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

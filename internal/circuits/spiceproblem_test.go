@@ -1,0 +1,89 @@
+package circuits
+
+import (
+	"math"
+	"testing"
+
+	"github.com/eda-go/moheco/internal/constraint"
+	"github.com/eda-go/moheco/internal/randx"
+	"github.com/eda-go/moheco/internal/sample"
+)
+
+func TestSpiceProblemContract(t *testing.T) {
+	p := NewCommonSourceSpice()
+	if p.Dim() != 4 || p.VarDim() != 32 {
+		t.Fatalf("dims: %d/%d", p.Dim(), p.VarDim())
+	}
+	if len(p.Specs()) != 4 {
+		t.Fatalf("specs: %d", len(p.Specs()))
+	}
+}
+
+// The simulator-in-the-loop path and the behavioural path must agree at
+// the nominal point within modelling tolerances.
+func TestSpiceProblemMatchesBehavioural(t *testing.T) {
+	fast := NewCommonSource()
+	slow := NewCommonSourceSpice()
+	x := fast.ReferenceDesign()
+	pf, err := fast.Evaluate(x, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := slow.Evaluate(x, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Gain within 6 dB (level-1 CLM numerator + exact bias point).
+	if math.Abs(pf[0]-ps[0]) > 6 {
+		t.Errorf("A0: behavioural %.2f dB vs spice %.2f dB", pf[0], ps[0])
+	}
+	// GBW within a factor of 2.
+	if r := ps[1] / pf[1]; r < 0.5 || r > 2 {
+		t.Errorf("GBW: behavioural %.3g vs spice %.3g", pf[1], ps[1])
+	}
+	// Power within 40% (the netlist includes the real branch currents).
+	if r := ps[2] / pf[2]; r < 0.6 || r > 1.4 {
+		t.Errorf("power: behavioural %.3g vs spice %.3g", pf[2], ps[2])
+	}
+	// Both report saturated devices at the reference design.
+	if pf[3] < 0 || ps[3] < 0 {
+		t.Errorf("margins: behavioural %.3g, spice %.3g", pf[3], ps[3])
+	}
+}
+
+// Process variations must shift the simulated performances sample to
+// sample, and the two paths must see correlated pass/fail behaviour.
+func TestSpiceProblemUnderVariation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("MNA sampling in -short mode")
+	}
+	slow := NewCommonSourceSpice()
+	x := slow.ReferenceDesign()
+	rng := randx.New(4)
+	pts := sample.LHS{}.Draw(rng, 20, slow.VarDim())
+	nom, err := slow.Evaluate(x, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	pass := 0
+	for _, xi := range pts {
+		perf, err := slow.Evaluate(x, xi)
+		if err != nil {
+			continue // non-convergence counts as fail, not test failure
+		}
+		if math.Abs(perf[0]-nom[0]) > 1e-6 {
+			moved++
+		}
+		if constraint.AllSatisfied(slow.Specs(), perf) {
+			pass++
+		}
+	}
+	if moved < 15 {
+		t.Errorf("only %d/20 samples moved the gain", moved)
+	}
+	// The reference design is robust; most samples should pass.
+	if pass < 12 {
+		t.Errorf("only %d/20 samples pass at the reference design", pass)
+	}
+}

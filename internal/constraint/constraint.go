@@ -1,0 +1,157 @@
+// Package constraint defines performance specifications and the
+// selection-based constraint handling rule (Deb 2000) the paper uses: between
+// two candidates, a feasible one beats an infeasible one, two feasible ones
+// compare by yield, and two infeasible ones compare by total constraint
+// violation.
+package constraint
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sense is the direction of a specification.
+type Sense int
+
+// Specification senses.
+const (
+	// AtLeast means the performance must be ≥ Bound (e.g. gain ≥ 70 dB).
+	AtLeast Sense = iota
+	// AtMost means the performance must be ≤ Bound (e.g. power ≤ 1 mW).
+	AtMost
+)
+
+// String implements fmt.Stringer.
+func (s Sense) String() string {
+	if s == AtLeast {
+		return ">="
+	}
+	return "<="
+}
+
+// Spec is one circuit performance specification.
+type Spec struct {
+	Name  string
+	Sense Sense
+	Bound float64
+	// Scale normalizes violations so different specs are comparable.
+	// Zero means |Bound| (or 1 when Bound is 0).
+	Scale float64
+	// Unit is informational ("dB", "Hz", "W", ...).
+	Unit string
+}
+
+// String renders "name >= bound unit".
+func (s Spec) String() string {
+	return fmt.Sprintf("%s %s %g %s", s.Name, s.Sense, s.Bound, s.Unit)
+}
+
+// scale returns the violation normalizer.
+func (s Spec) scale() float64 {
+	if s.Scale > 0 {
+		return s.Scale
+	}
+	if b := math.Abs(s.Bound); b > 0 {
+		return b
+	}
+	return 1
+}
+
+// Satisfied reports whether value v meets the spec. NaN never satisfies.
+func (s Spec) Satisfied(v float64) bool {
+	if math.IsNaN(v) {
+		return false
+	}
+	if s.Sense == AtLeast {
+		return v >= s.Bound
+	}
+	return v <= s.Bound
+}
+
+// Violation returns the normalized violation of v: 0 when satisfied,
+// positive and increasing with distance otherwise. NaN maps to a large
+// finite penalty so broken evaluations rank below every real candidate.
+func (s Spec) Violation(v float64) float64 {
+	if math.IsNaN(v) {
+		return 1e6
+	}
+	var d float64
+	if s.Sense == AtLeast {
+		d = s.Bound - v
+	} else {
+		d = v - s.Bound
+	}
+	if d <= 0 {
+		return 0
+	}
+	return d / s.scale()
+}
+
+// AllSatisfied reports whether perf meets every spec. perf must be aligned
+// with specs.
+func AllSatisfied(specs []Spec, perf []float64) bool {
+	if len(perf) != len(specs) {
+		return false
+	}
+	for i, s := range specs {
+		if !s.Satisfied(perf[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TotalViolation sums the normalized violations of perf against specs.
+func TotalViolation(specs []Spec, perf []float64) float64 {
+	if len(perf) != len(specs) {
+		return math.Inf(1)
+	}
+	t := 0.0
+	for i, s := range specs {
+		t += s.Violation(perf[i])
+	}
+	return t
+}
+
+// Fitness is the comparable state of a candidate in the yield optimizer.
+type Fitness struct {
+	// Feasible reports whether the nominal design meets all specs.
+	Feasible bool
+	// Yield is the estimated yield (only meaningful when feasible).
+	Yield float64
+	// Violation is the total nominal constraint violation (only meaningful
+	// when infeasible).
+	Violation float64
+}
+
+// Better reports whether a is strictly better than b under Deb's rules:
+// feasible beats infeasible; feasible candidates compare by yield
+// (higher wins); infeasible ones by violation (lower wins).
+func Better(a, b Fitness) bool {
+	switch {
+	case a.Feasible && !b.Feasible:
+		return true
+	case !a.Feasible && b.Feasible:
+		return false
+	case a.Feasible:
+		return a.Yield > b.Yield
+	default:
+		return a.Violation < b.Violation
+	}
+}
+
+// BetterOrEqual reports whether a is at least as good as b. The DE selection
+// step uses this so trial candidates replace equal parents, keeping the
+// search moving across plateaus.
+func BetterOrEqual(a, b Fitness) bool {
+	switch {
+	case a.Feasible && !b.Feasible:
+		return true
+	case !a.Feasible && b.Feasible:
+		return false
+	case a.Feasible:
+		return a.Yield >= b.Yield
+	default:
+		return a.Violation <= b.Violation
+	}
+}

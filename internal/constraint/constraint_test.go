@@ -1,0 +1,127 @@
+package constraint
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSpecSatisfied(t *testing.T) {
+	gain := Spec{Name: "A0", Sense: AtLeast, Bound: 70}
+	power := Spec{Name: "power", Sense: AtMost, Bound: 1.07e-3}
+	if !gain.Satisfied(75) || gain.Satisfied(69.9) {
+		t.Error("AtLeast broken")
+	}
+	if !gain.Satisfied(70) {
+		t.Error("boundary should satisfy")
+	}
+	if !power.Satisfied(1e-3) || power.Satisfied(1.2e-3) {
+		t.Error("AtMost broken")
+	}
+	if gain.Satisfied(math.NaN()) {
+		t.Error("NaN must not satisfy")
+	}
+}
+
+func TestViolationNormalization(t *testing.T) {
+	s := Spec{Name: "A0", Sense: AtLeast, Bound: 70}
+	if v := s.Violation(75); v != 0 {
+		t.Errorf("satisfied violation = %v", v)
+	}
+	if v := s.Violation(63); math.Abs(v-0.1) > 1e-12 {
+		t.Errorf("violation = %v, want 0.1", v)
+	}
+	// Explicit scale.
+	s2 := Spec{Name: "pm", Sense: AtLeast, Bound: 60, Scale: 30}
+	if v := s2.Violation(45); math.Abs(v-0.5) > 1e-12 {
+		t.Errorf("scaled violation = %v, want 0.5", v)
+	}
+	// Zero bound falls back to scale 1.
+	s3 := Spec{Name: "margin", Sense: AtLeast, Bound: 0}
+	if v := s3.Violation(-0.25); math.Abs(v-0.25) > 1e-12 {
+		t.Errorf("zero-bound violation = %v", v)
+	}
+	if v := s.Violation(math.NaN()); v < 1e5 {
+		t.Errorf("NaN violation should be huge, got %v", v)
+	}
+}
+
+func TestAllSatisfiedAndTotal(t *testing.T) {
+	specs := []Spec{
+		{Name: "a", Sense: AtLeast, Bound: 10},
+		{Name: "b", Sense: AtMost, Bound: 2},
+	}
+	if !AllSatisfied(specs, []float64{11, 1}) {
+		t.Error("should satisfy")
+	}
+	if AllSatisfied(specs, []float64{9, 1}) {
+		t.Error("should fail")
+	}
+	if AllSatisfied(specs, []float64{11}) {
+		t.Error("length mismatch should fail")
+	}
+	tv := TotalViolation(specs, []float64{5, 4})
+	want := 0.5 + 1.0
+	if math.Abs(tv-want) > 1e-12 {
+		t.Errorf("total violation = %v, want %v", tv, want)
+	}
+	if !math.IsInf(TotalViolation(specs, []float64{1}), 1) {
+		t.Error("length mismatch should be +Inf")
+	}
+}
+
+func TestDebRules(t *testing.T) {
+	feasHigh := Fitness{Feasible: true, Yield: 0.9}
+	feasLow := Fitness{Feasible: true, Yield: 0.5}
+	infSmall := Fitness{Feasible: false, Violation: 0.1}
+	infBig := Fitness{Feasible: false, Violation: 5}
+
+	cases := []struct {
+		a, b Fitness
+		want bool
+	}{
+		{feasHigh, feasLow, true},
+		{feasLow, feasHigh, false},
+		{feasLow, infSmall, true},  // feasible beats infeasible
+		{infSmall, feasLow, false}, // even with tiny violation
+		{infSmall, infBig, true},
+		{infBig, infSmall, false},
+		{feasHigh, feasHigh, false}, // strict
+	}
+	for i, c := range cases {
+		if got := Better(c.a, c.b); got != c.want {
+			t.Errorf("case %d: Better = %v, want %v", i, got, c.want)
+		}
+	}
+	if !BetterOrEqual(feasHigh, feasHigh) {
+		t.Error("BetterOrEqual should accept ties")
+	}
+	if !BetterOrEqual(infSmall, Fitness{Feasible: false, Violation: 0.1}) {
+		t.Error("BetterOrEqual should accept violation ties")
+	}
+}
+
+// Property: Better is a strict partial order — irreflexive and asymmetric.
+func TestBetterAsymmetry(t *testing.T) {
+	f := func(fa, fb bool, ya, yb, va, vb float64) bool {
+		a := Fitness{Feasible: fa, Yield: math.Abs(ya), Violation: math.Abs(va)}
+		b := Fitness{Feasible: fb, Yield: math.Abs(yb), Violation: math.Abs(vb)}
+		if Better(a, a) || Better(b, b) {
+			return false
+		}
+		return !(Better(a, b) && Better(b, a))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSenseString(t *testing.T) {
+	if AtLeast.String() != ">=" || AtMost.String() != "<=" {
+		t.Error("sense strings wrong")
+	}
+	s := Spec{Name: "A0", Sense: AtLeast, Bound: 70, Unit: "dB"}
+	if s.String() != "A0 >= 70 dB" {
+		t.Errorf("spec string = %q", s.String())
+	}
+}

@@ -1,0 +1,33 @@
+package constraint_test
+
+import (
+	"fmt"
+
+	"github.com/eda-go/moheco/internal/constraint"
+)
+
+// Deb's rules: feasibility first, then yield, then violation.
+func ExampleBetter() {
+	feasible := constraint.Fitness{Feasible: true, Yield: 0.92}
+	slightlyBetter := constraint.Fitness{Feasible: true, Yield: 0.95}
+	infeasible := constraint.Fitness{Feasible: false, Violation: 0.01}
+
+	fmt.Println(constraint.Better(slightlyBetter, feasible))
+	fmt.Println(constraint.Better(feasible, infeasible))
+	fmt.Println(constraint.Better(infeasible, feasible))
+	// Output:
+	// true
+	// true
+	// false
+}
+
+// Violations are normalized by the spec's scale so different quantities
+// compare fairly.
+func ExampleSpec_Violation() {
+	gain := constraint.Spec{Name: "A0", Sense: constraint.AtLeast, Bound: 70, Unit: "dB"}
+	fmt.Printf("%.3f\n", gain.Violation(75)) // satisfied
+	fmt.Printf("%.3f\n", gain.Violation(63)) // 7 dB short of 70
+	// Output:
+	// 0.000
+	// 0.100
+}

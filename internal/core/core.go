@@ -1,0 +1,583 @@
+// Package core implements MOHECO — the Memetic Ordinal-Optimization-based
+// Hybrid Evolutionary Constrained Optimization algorithm of the paper — and
+// the baselines it is compared against. The optimizer follows Fig. 4 of the
+// paper:
+//
+//	initialize population → select base vector → DE mutation/crossover →
+//	feasibility check (nominal) → stage-1 OO yield estimation (OCBA) or
+//	stage-2 full-budget estimation → Deb selection → occasional Nelder–Mead
+//	refinement of the best member → repeat until 100% yield or stall.
+//
+// Three methods share this loop:
+//
+//   - MethodMOHECO: two-stage OO estimation + memetic NM refinement.
+//   - MethodOOOnly: two-stage OO estimation, no memetic operator
+//     ("OO+AS+LHS" in the paper's tables).
+//   - MethodFixedBudget: every feasible candidate receives a fixed number of
+//     samples ("300/500/700 simulations, AS+LHS" in the tables).
+//
+// All methods use DE/best/1/bin, selection-based constraint handling,
+// acceptance sampling and LHS, exactly as the paper prescribes for its
+// comparisons.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/eda-go/moheco/internal/constraint"
+	"github.com/eda-go/moheco/internal/de"
+	"github.com/eda-go/moheco/internal/nm"
+	"github.com/eda-go/moheco/internal/ocba"
+	"github.com/eda-go/moheco/internal/oo"
+	"github.com/eda-go/moheco/internal/problem"
+	"github.com/eda-go/moheco/internal/randx"
+	"github.com/eda-go/moheco/internal/sample"
+	"github.com/eda-go/moheco/internal/yieldsim"
+)
+
+// Method selects the estimation/search strategy.
+type Method int
+
+// The compared methods.
+const (
+	// MethodMOHECO is the paper's contribution: OO + AS + LHS + memetic DE/NM.
+	MethodMOHECO Method = iota
+	// MethodOOOnly is MOHECO without the memetic operator (OO+AS+LHS).
+	MethodOOOnly
+	// MethodFixedBudget gives every feasible candidate FixedSims samples
+	// (the AS+LHS baseline).
+	MethodFixedBudget
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case MethodMOHECO:
+		return "MOHECO"
+	case MethodOOOnly:
+		return "OO+AS+LHS"
+	case MethodFixedBudget:
+		return "AS+LHS"
+	default:
+		return fmt.Sprintf("method(%d)", int(m))
+	}
+}
+
+// Options configures a run. The zero value is not usable; start from
+// DefaultOptions.
+type Options struct {
+	Method Method
+
+	// Evolutionary parameters (paper §3: 50 / 0.8 / 0.8).
+	PopSize int
+	F       float64
+	CR      float64
+
+	// Two-stage OO parameters (paper: n0=15, simAve=35, Δ=10, threshold 97%).
+	N0        int
+	SimAve    int
+	Delta     int
+	Threshold float64
+
+	// MaxSims is the stage-2 / final-accuracy per-candidate budget
+	// (paper: 500). FixedSims is the per-candidate budget of the
+	// fixed-budget baseline; 0 means MaxSims.
+	MaxSims   int
+	FixedSims int
+
+	// Memetic operator: trigger after StallLocal stalled generations, run
+	// NM for NMIters iterations (paper: 5 and ~10).
+	StallLocal int
+	NMIters    int
+
+	// Stopping: reported yield ≥ TargetYield, or StallStop generations
+	// without improvement, or MaxGenerations.
+	TargetYield    float64
+	StallStop      int
+	MaxGenerations int
+
+	// Sampling configuration.
+	Sampler            sample.Sampler
+	AcceptanceSampling bool
+
+	// Seed fixes all randomness of the run.
+	Seed uint64
+
+	// Workers sets the number of goroutines used to evaluate candidates'
+	// Monte-Carlo samples in parallel (0 = GOMAXPROCS). Each candidate owns
+	// an independent random stream, so results are identical regardless of
+	// the worker count.
+	Workers int
+
+	// RecordPopulations stores per-generation feasible-candidate snapshots
+	// in the history (needed by the Fig. 3 and §3.4 experiments).
+	RecordPopulations bool
+}
+
+// DefaultOptions returns the paper's parameter settings for the given
+// method and stage-2 budget.
+func DefaultOptions(method Method, maxSims int) Options {
+	return Options{
+		Method:             method,
+		PopSize:            50,
+		F:                  0.8,
+		CR:                 0.8,
+		N0:                 15,
+		SimAve:             35,
+		Delta:              10,
+		Threshold:          0.97,
+		MaxSims:            maxSims,
+		StallLocal:         5,
+		NMIters:            10,
+		TargetYield:        1.0,
+		StallStop:          20,
+		MaxGenerations:     300,
+		Sampler:            sample.LHS{},
+		AcceptanceSampling: true,
+		Seed:               1,
+	}
+}
+
+func (o Options) withDefaults() Options {
+	if o.PopSize == 0 {
+		o.PopSize = 50
+	}
+	if o.F == 0 {
+		o.F = 0.8
+	}
+	if o.CR == 0 {
+		o.CR = 0.8
+	}
+	if o.N0 == 0 {
+		o.N0 = 15
+	}
+	if o.SimAve == 0 {
+		o.SimAve = 35
+	}
+	if o.Delta == 0 {
+		o.Delta = 10
+	}
+	if o.Threshold == 0 {
+		o.Threshold = 0.97
+	}
+	if o.MaxSims == 0 {
+		o.MaxSims = 500
+	}
+	if o.FixedSims == 0 {
+		o.FixedSims = o.MaxSims
+	}
+	if o.StallLocal == 0 {
+		o.StallLocal = 5
+	}
+	if o.NMIters == 0 {
+		o.NMIters = 10
+	}
+	if o.TargetYield == 0 {
+		o.TargetYield = 1.0
+	}
+	if o.StallStop == 0 {
+		o.StallStop = 20
+	}
+	if o.MaxGenerations == 0 {
+		o.MaxGenerations = 300
+	}
+	if o.Sampler == nil {
+		o.Sampler = sample.LHS{}
+	}
+	return o
+}
+
+// GenRecord captures one generation for the experiment harness.
+type GenRecord struct {
+	Gen           int
+	BestYield     float64
+	BestFeasible  bool
+	BestViolation float64
+	CumSims       int64
+	NumFeasible   int
+
+	// Snapshot of this generation's feasible trial candidates (only when
+	// Options.RecordPopulations is set): designs, their estimated yields,
+	// accounted MC samples and actual simulator calls.
+	Designs      [][]float64
+	Yields       []float64
+	SampleCounts []int
+	SimCounts    []int
+}
+
+// Result is the outcome of one optimization run.
+type Result struct {
+	Problem     string
+	Method      Method
+	BestX       []float64
+	BestYield   float64 // the reported yield (final-accuracy estimate)
+	BestSamples int     // MC samples behind the reported yield
+	Feasible    bool
+	TotalSims   int64
+	Generations int
+	StopReason  string
+	History     []GenRecord
+	NMTriggers  int
+}
+
+// member is one population slot.
+type member struct {
+	x    []float64
+	fit  constraint.Fitness
+	cand *yieldsim.Candidate // nil while infeasible
+}
+
+// Optimize runs the configured method on the problem.
+func Optimize(p problem.Problem, opts Options) (*Result, error) {
+	o := opts.withDefaults()
+	cfg := de.Config{NP: o.PopSize, F: o.F, CR: o.CR}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	lo, hi := p.Bounds()
+	rng := randx.New(o.Seed)
+	counter := &yieldsim.Counter{}
+	ycfg := yieldsim.Config{Sampler: o.Sampler, AcceptanceSampling: o.AcceptanceSampling}
+	manager := &oo.Manager{
+		N0: o.N0, SimAve: o.SimAve, Delta: o.Delta,
+		MaxSims: o.MaxSims, Threshold: o.Threshold,
+	}
+	candSeq := uint64(0)
+	newCandidate := func(x []float64) *yieldsim.Candidate {
+		candSeq++
+		return yieldsim.NewCandidate(p, x, ycfg, counter, randx.DeriveSeed(o.Seed, 0x5eed, candSeq))
+	}
+	nominal := func(x []float64) constraint.Fitness {
+		fit, _, _ := problem.NominalFitness(p, x)
+		counter.Add(1)
+		return fit
+	}
+
+	// estimate runs the method's yield estimation over feasible members.
+	estimate := func(ms []*member) error {
+		feas := make([]*member, 0, len(ms))
+		for _, m := range ms {
+			if m.fit.Feasible {
+				feas = append(feas, m)
+			}
+		}
+		if len(feas) == 0 {
+			return nil
+		}
+		for _, m := range feas {
+			m.cand = newCandidate(m.x)
+		}
+		switch o.Method {
+		case MethodFixedBudget:
+			// Candidates sample independent streams: evaluate in parallel.
+			if err := parallelSample(feas, o.Workers, o.FixedSims); err != nil {
+				return err
+			}
+		default:
+			// The OCBA rounds are inherently sequential, but the initial n0
+			// samples per candidate are not.
+			if err := parallelSample(feas, o.Workers, o.N0); err != nil {
+				return err
+			}
+			group := make([]ocba.Candidate, len(feas))
+			for i, m := range feas {
+				group[i] = m.cand
+			}
+			if _, err := manager.Evaluate(group); err != nil {
+				return err
+			}
+		}
+		for _, m := range feas {
+			m.fit.Yield = m.cand.Yield()
+		}
+		return nil
+	}
+
+	// --- Initialization (step 0) ---
+	pop := make([]*member, o.PopSize)
+	for i := range pop {
+		x := problem.RandomDesign(p, rng)
+		pop[i] = &member{x: x, fit: nominal(x)}
+	}
+	if err := estimate(pop); err != nil {
+		return nil, err
+	}
+	best := 0
+	for i := range pop {
+		if constraint.Better(pop[i].fit, pop[best].fit) {
+			best = i
+		}
+	}
+
+	res := &Result{Problem: p.Name(), Method: o.Method}
+	stall := 0                  // generations without improvement (stop criterion)
+	stallLocal := 0             // generations without improvement (NM trigger)
+	nmStallNeed := o.StallLocal // escalating NM trigger threshold
+	reason := "max-generations"
+
+	popX := make([][]float64, o.PopSize)
+	gen := 0
+	for gen = 1; gen <= o.MaxGenerations; gen++ {
+		// Steps 1–2: base vector selection, DE mutation and crossover.
+		for i, m := range pop {
+			popX[i] = m.x
+		}
+		trialsX := de.Generation(popX, best, lo, hi, cfg, rng)
+
+		// Steps 3–7: feasibility and method-specific yield estimation.
+		trials := make([]*member, len(trialsX))
+		for i, x := range trialsX {
+			trials[i] = &member{x: x, fit: nominal(x)}
+		}
+		if err := estimate(trials); err != nil {
+			return nil, err
+		}
+
+		// Step 8: one-to-one selection under Deb's rules.
+		for i, tr := range trials {
+			if constraint.BetterOrEqual(tr.fit, pop[i].fit) {
+				pop[i] = tr
+			}
+		}
+		prevBestFit := pop[best].fit
+		for i := range pop {
+			if constraint.Better(pop[i].fit, pop[best].fit) {
+				best = i
+			}
+		}
+		// Critical solutions deserve accurate estimates (paper §2.3): the
+		// incumbent best is the DE base vector and the reported result, so
+		// it is always held at stage-2 accuracy. This also corrects lucky
+		// stage-1 overestimates that would otherwise ratchet in as an
+		// unbeatable incumbent.
+		if b := pop[best]; b.fit.Feasible && b.cand != nil && b.cand.Samples() < o.MaxSims {
+			if err := b.cand.EnsureSamples(o.MaxSims); err != nil {
+				return nil, err
+			}
+			b.fit.Yield = b.cand.Yield()
+			for i := range pop {
+				if constraint.Better(pop[i].fit, pop[best].fit) {
+					best = i
+				}
+			}
+		}
+		improved := constraint.Better(pop[best].fit, prevBestFit)
+		switch {
+		case improved:
+			stall, stallLocal = 0, 0
+		case !pop[best].fit.Feasible:
+			// The paper's stall criterion is "the yield does not increase
+			// for 20 subsequent generations" — it only starts once there is
+			// a yield to speak of. The constraint-satisfaction phase runs
+			// under the generation cap alone.
+			stall = 0
+			stallLocal = 0
+		default:
+			stall++
+			stallLocal++
+		}
+
+		// Steps 9–10: memetic local refinement of the best member. After an
+		// unsuccessful refinement the trigger threshold escalates, so a
+		// flat optimum is not probed over and over at full cost.
+		if o.Method == MethodMOHECO && stallLocal >= nmStallNeed && pop[best].fit.Feasible {
+			res.NMTriggers++
+			accepted := false
+			if better := localSearch(p, pop[best], o, counter, ycfg, newCandidate, nominal); better != nil {
+				if constraint.Better(better.fit, pop[best].fit) {
+					pop[best] = better
+					stall = 0
+					accepted = true
+				}
+			}
+			if accepted {
+				nmStallNeed = o.StallLocal
+			} else {
+				nmStallNeed += o.StallLocal
+			}
+			stallLocal = 0
+		}
+
+		// Bookkeeping.
+		rec := GenRecord{
+			Gen:           gen,
+			BestYield:     pop[best].fit.Yield,
+			BestFeasible:  pop[best].fit.Feasible,
+			BestViolation: pop[best].fit.Violation,
+			CumSims:       counter.Total(),
+		}
+		for _, tr := range trials {
+			if tr.fit.Feasible {
+				rec.NumFeasible++
+				if o.RecordPopulations && tr.cand != nil {
+					rec.Designs = append(rec.Designs, tr.x)
+					rec.Yields = append(rec.Yields, tr.cand.Yield())
+					rec.SampleCounts = append(rec.SampleCounts, tr.cand.Samples())
+					rec.SimCounts = append(rec.SimCounts, tr.cand.Sims())
+				}
+			}
+		}
+		res.History = append(res.History, rec)
+
+		// Step 11: stopping criteria.
+		if pop[best].fit.Feasible && pop[best].fit.Yield >= o.TargetYield {
+			reason = "target-yield"
+			break
+		}
+		if stall >= o.StallStop {
+			reason = "stalled"
+			break
+		}
+	}
+	if gen > o.MaxGenerations {
+		gen = o.MaxGenerations
+	}
+
+	// Final report: the best candidate's yield at full accuracy.
+	b := pop[best]
+	if b.fit.Feasible {
+		if b.cand == nil {
+			b.cand = newCandidate(b.x)
+		}
+		if err := b.cand.EnsureSamples(o.MaxSims); err != nil {
+			return nil, err
+		}
+		b.fit.Yield = b.cand.Yield()
+		res.BestSamples = b.cand.Samples()
+	}
+	res.BestX = append([]float64(nil), b.x...)
+	res.BestYield = b.fit.Yield
+	res.Feasible = b.fit.Feasible
+	res.TotalSims = counter.Total()
+	res.Generations = gen
+	res.StopReason = reason
+	return res, nil
+}
+
+// localSearch runs the Nelder–Mead refinement around the best member
+// (paper §2.4): each evaluation is a nominal feasibility check plus a
+// full-budget yield estimate, so the operator is kept short and is only
+// worth triggering when DE has stalled.
+func localSearch(
+	p problem.Problem,
+	bestM *member,
+	o Options,
+	counter *yieldsim.Counter,
+	ycfg yieldsim.Config,
+	newCandidate func([]float64) *yieldsim.Candidate,
+	nominal func([]float64) constraint.Fitness,
+) *member {
+	lo, hi := p.Bounds()
+	type evalRec struct {
+		x    []float64
+		fit  constraint.Fitness
+		cand *yieldsim.Candidate
+	}
+	// Interior simplex evaluations run at a reduced budget; only the final
+	// point is verified at full accuracy. This keeps the memetic operator
+	// cheap enough to pay for itself (the paper's NM budget is ~10
+	// full-accuracy iterations; a 10-dimensional simplex would otherwise
+	// burn that on initialization alone).
+	probeSims := o.MaxSims / 3
+	if probeSims < o.SimAve {
+		probeSims = o.SimAve
+	}
+	var evals []evalRec
+	obj := func(x []float64) float64 {
+		fit := nominal(x)
+		rec := evalRec{x: append([]float64(nil), x...), fit: fit}
+		if !fit.Feasible {
+			evals = append(evals, rec)
+			return 1 + fit.Violation
+		}
+		cand := newCandidate(x)
+		if err := cand.AddSamples(probeSims); err != nil {
+			return 2
+		}
+		rec.cand = cand
+		rec.fit.Yield = cand.Yield()
+		evals = append(evals, rec)
+		return -rec.fit.Yield
+	}
+	res := nm.Minimize(obj, bestM.x, nm.Options{
+		MaxIter: o.NMIters,
+		Scale:   0.02,
+		Lo:      lo,
+		Hi:      hi,
+	})
+	// Find the evaluation record matching the returned point and verify it
+	// at stage-2 accuracy before offering it back to the population.
+	for i := range evals {
+		if sameVec(evals[i].x, res.X) {
+			e := evals[i]
+			if e.cand != nil {
+				if err := e.cand.EnsureSamples(o.MaxSims); err != nil {
+					return nil
+				}
+				e.fit.Yield = e.cand.Yield()
+			}
+			return &member{x: e.x, fit: e.fit, cand: e.cand}
+		}
+	}
+	return nil
+}
+
+func sameVec(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// parallelSample tops every member's candidate up to n samples using a
+// bounded worker pool. Per-candidate sample streams are private, so the
+// result is independent of scheduling.
+func parallelSample(ms []*member, workers, n int) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(ms) {
+		workers = len(ms)
+	}
+	if workers <= 1 {
+		for _, m := range ms {
+			if err := m.cand.EnsureSamples(n); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	next := make(chan *member, len(ms))
+	for _, m := range ms {
+		next <- m
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for m := range next {
+				if err := m.cand.EnsureSamples(n); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

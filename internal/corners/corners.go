@@ -1,0 +1,116 @@
+// Package corners implements the classical non-statistical yield-design
+// alternatives the paper's §3.4 argues against: corner-based worst-case
+// design and a simplified performance-specific worst-case design (PSWCD).
+// Both replace Monte-Carlo yield estimation with deterministic worst-case
+// checks; the paper's claim — reproduced quantitatively by the experiment
+// harness — is that they either over-design (burn power/area to satisfy
+// corners that never co-occur statistically) or mis-predict the true yield.
+package corners
+
+import (
+	"fmt"
+
+	"github.com/eda-go/moheco/internal/constraint"
+	"github.com/eda-go/moheco/internal/problem"
+)
+
+// Corner is one deterministic process condition: a fixed variation vector
+// in the standard-normal space of the problem.
+type Corner struct {
+	Name string
+	// Xi is the variation vector (length = problem.VarDim()).
+	Xi []float64
+}
+
+// Generator builds corner sets for a problem.
+type Generator struct {
+	// Sigma is the corner displacement in standard deviations (typical
+	// foundry practice: 3).
+	Sigma float64
+	// InterDim is the number of inter-die variables at the front of the
+	// variation vector; corners displace only those (intra-die mismatch has
+	// no meaningful "corner").
+	InterDim int
+}
+
+// Classic returns the five classic global corners (TT, FF, SS, FS, SF) for
+// a problem whose inter-die layout starts with the NMOS-affecting variables.
+// Fast/slow device corners are approximated by displacing every inter-die
+// variable by ±Sigma with a polarity pattern: in this repo's decks the
+// dominant yield-relevant inter-die variables (VTH0R*, DELUO*, TOXR*)
+// degrade performance in their positive direction for "slow" and improve it
+// for "fast", so FF = -σ everywhere, SS = +σ everywhere, and the mixed
+// corners alternate the N- and P-affecting halves.
+//
+// nSelector reports, per inter-die index, whether the variable affects NMOS
+// devices (true) or PMOS (false); "both" variables count as NMOS.
+func (g *Generator) Classic(p problem.Problem, nSelector func(i int) bool) []Corner {
+	dim := p.VarDim()
+	mk := func(name string, nSign, pSign float64) Corner {
+		xi := make([]float64, dim)
+		for i := 0; i < g.InterDim && i < dim; i++ {
+			if nSelector(i) {
+				xi[i] = nSign * g.Sigma
+			} else {
+				xi[i] = pSign * g.Sigma
+			}
+		}
+		return Corner{Name: name, Xi: xi}
+	}
+	return []Corner{
+		{Name: "TT", Xi: make([]float64, dim)},
+		mk("FF", -1, -1),
+		mk("SS", +1, +1),
+		mk("FS", -1, +1),
+		mk("SF", +1, -1),
+	}
+}
+
+// WorstCase evaluates design x at every corner and returns the worst
+// violation over all of them (0 when every corner passes every spec).
+func WorstCase(p problem.Problem, x []float64, corners []Corner) (float64, error) {
+	specs := p.Specs()
+	worst := 0.0
+	for _, c := range corners {
+		perf, err := p.Evaluate(x, c.Xi)
+		if err != nil {
+			return 0, fmt.Errorf("corners: %s: %w", c.Name, err)
+		}
+		if v := constraint.TotalViolation(specs, perf); v > worst {
+			worst = v
+		}
+	}
+	return worst, nil
+}
+
+// AllPass reports whether x satisfies every spec at every corner.
+func AllPass(p problem.Problem, x []float64, corners []Corner) (bool, error) {
+	w, err := WorstCase(p, x, corners)
+	return w == 0, err
+}
+
+// PSWCD approximates performance-specific worst-case design: for each
+// specification separately, the worst case over the corner set is taken,
+// and the design must satisfy every spec at its own worst corner. This is
+// the paper's description of PSWCD's core flaw: the per-spec worst-case
+// points cannot co-occur, so their combination over-estimates the
+// requirement ("the separated worst-case points cannot be achieved
+// simultaneously, so their combination is over-estimated").
+func PSWCD(p problem.Problem, x []float64, corners []Corner) (float64, error) {
+	specs := p.Specs()
+	total := 0.0
+	for si, s := range specs {
+		worst := 0.0
+		for _, c := range corners {
+			perf, err := p.Evaluate(x, c.Xi)
+			if err != nil {
+				return 0, fmt.Errorf("corners: %s: %w", c.Name, err)
+			}
+			if v := s.Violation(perf[si]); v > worst {
+				worst = v
+			}
+		}
+		total += worst
+	}
+	return total, nil
+}

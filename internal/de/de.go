@@ -1,0 +1,78 @@
+// Package de implements the differential-evolution operators MOHECO uses as
+// its global search engine (Price & Storn; DE/best/1/bin). The best member
+// serves as the base vector — the paper relies on this so that the memetic
+// refinement of the best member propagates its schemata into the whole next
+// generation — with binomial crossover and bound clamping.
+package de
+
+import (
+	"fmt"
+
+	"github.com/eda-go/moheco/internal/randx"
+)
+
+// Config holds the DE control parameters (paper: NP=50, F=0.8, CR=0.8).
+type Config struct {
+	NP int     // population size
+	F  float64 // differential weight
+	CR float64 // crossover rate
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.NP < 4 {
+		return fmt.Errorf("de: population size %d < 4", c.NP)
+	}
+	if c.F <= 0 || c.F > 2 {
+		return fmt.Errorf("de: F = %g outside (0, 2]", c.F)
+	}
+	if c.CR < 0 || c.CR > 1 {
+		return fmt.Errorf("de: CR = %g outside [0, 1]", c.CR)
+	}
+	return nil
+}
+
+// Trial builds the DE/best/1/bin trial vector for population member i.
+// pop is the current population, best the index of its best member.
+// The result is clamped into [lo, hi].
+func Trial(pop [][]float64, i, best int, lo, hi []float64, cfg Config, rng *randx.Stream) []float64 {
+	np := len(pop)
+	dim := len(pop[i])
+	// Pick r1 ≠ r2, both different from i.
+	r1 := rng.Intn(np)
+	for r1 == i {
+		r1 = rng.Intn(np)
+	}
+	r2 := rng.Intn(np)
+	for r2 == i || r2 == r1 {
+		r2 = rng.Intn(np)
+	}
+	trial := make([]float64, dim)
+	jRand := rng.Intn(dim) // at least one mutated coordinate
+	for j := 0; j < dim; j++ {
+		if j == jRand || rng.Float64() < cfg.CR {
+			v := pop[best][j] + cfg.F*(pop[r1][j]-pop[r2][j])
+			// Clamp into the box; DE handles the rest of the repair by
+			// re-sampling difference vectors over generations.
+			if v < lo[j] {
+				v = lo[j]
+			}
+			if v > hi[j] {
+				v = hi[j]
+			}
+			trial[j] = v
+		} else {
+			trial[j] = pop[i][j]
+		}
+	}
+	return trial
+}
+
+// Generation builds trial vectors for the whole population.
+func Generation(pop [][]float64, best int, lo, hi []float64, cfg Config, rng *randx.Stream) [][]float64 {
+	trials := make([][]float64, len(pop))
+	for i := range pop {
+		trials[i] = Trial(pop, i, best, lo, hi, cfg, rng)
+	}
+	return trials
+}

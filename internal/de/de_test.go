@@ -1,0 +1,167 @@
+package de
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/eda-go/moheco/internal/randx"
+)
+
+func population(rng *randx.Stream, np, dim int, lo, hi []float64) [][]float64 {
+	pop := make([][]float64, np)
+	for i := range pop {
+		pop[i] = make([]float64, dim)
+		for j := range pop[i] {
+			pop[i][j] = lo[j] + rng.Float64()*(hi[j]-lo[j])
+		}
+	}
+	return pop
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{NP: 50, F: 0.8, CR: 0.8}
+	if err := good.Validate(); err != nil {
+		t.Errorf("paper config rejected: %v", err)
+	}
+	bad := []Config{
+		{NP: 3, F: 0.8, CR: 0.8},
+		{NP: 50, F: 0, CR: 0.8},
+		{NP: 50, F: 2.5, CR: 0.8},
+		{NP: 50, F: 0.8, CR: 1.5},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestTrialRespectsBounds(t *testing.T) {
+	rng := randx.New(1)
+	lo := []float64{-1, 0, 10}
+	hi := []float64{1, 5, 20}
+	pop := population(rng, 20, 3, lo, hi)
+	cfg := Config{NP: 20, F: 0.8, CR: 0.8}
+	for i := 0; i < 200; i++ {
+		tr := Trial(pop, i%20, 0, lo, hi, cfg, rng)
+		for j, v := range tr {
+			if v < lo[j] || v > hi[j] {
+				t.Fatalf("trial[%d] = %v outside [%v, %v]", j, v, lo[j], hi[j])
+			}
+		}
+	}
+}
+
+// Property: bounds always hold, for arbitrary seeds and box shapes.
+func TestTrialBoundsProperty(t *testing.T) {
+	f := func(seed uint64, width uint8) bool {
+		rng := randx.New(seed)
+		dim := 4
+		w := 0.5 + float64(width%50)
+		lo := []float64{0, -w, 3, -100}
+		hi := []float64{w, w, 3.5, 100}
+		pop := population(rng, 10, dim, lo, hi)
+		cfg := Config{NP: 10, F: 0.8, CR: 0.8}
+		tr := Trial(pop, rng.Intn(10), rng.Intn(10), lo, hi, cfg, rng)
+		for j, v := range tr {
+			if v < lo[j] || v > hi[j] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTrialMutatesAtLeastOneCoordinate(t *testing.T) {
+	rng := randx.New(3)
+	lo := []float64{0, 0, 0, 0}
+	hi := []float64{1, 1, 1, 1}
+	pop := population(rng, 8, 4, lo, hi)
+	// CR = 0: only jRand mutates; the trial must still differ from the
+	// parent whenever the mutant coordinate differs.
+	cfg := Config{NP: 8, F: 0.8, CR: 0}
+	diffs := 0
+	for i := 0; i < 50; i++ {
+		idx := i % 8
+		tr := Trial(pop, idx, 0, lo, hi, cfg, rng)
+		for j := range tr {
+			if tr[j] != pop[idx][j] {
+				diffs++
+			}
+		}
+	}
+	if diffs < 40 {
+		t.Errorf("only %d mutated coordinates over 50 trials", diffs)
+	}
+}
+
+func TestGenerationShape(t *testing.T) {
+	rng := randx.New(5)
+	lo := []float64{0, 0}
+	hi := []float64{1, 1}
+	pop := population(rng, 12, 2, lo, hi)
+	cfg := Config{NP: 12, F: 0.8, CR: 0.8}
+	trials := Generation(pop, 3, lo, hi, cfg, rng)
+	if len(trials) != 12 {
+		t.Fatalf("trials = %d", len(trials))
+	}
+	for _, tr := range trials {
+		if len(tr) != 2 {
+			t.Fatalf("trial dim = %d", len(tr))
+		}
+	}
+}
+
+// DE/best/1/bin on the sphere function must converge to the optimum — an
+// end-to-end sanity check of the operator set.
+func TestDEConvergesOnSphere(t *testing.T) {
+	rng := randx.New(7)
+	dim := 5
+	lo := make([]float64, dim)
+	hi := make([]float64, dim)
+	for i := range lo {
+		lo[i], hi[i] = -5, 5
+	}
+	sphere := func(x []float64) float64 {
+		s := 0.0
+		for _, v := range x {
+			s += (v - 1) * (v - 1) // optimum at (1,...,1)
+		}
+		return s
+	}
+	cfg := Config{NP: 30, F: 0.8, CR: 0.8}
+	pop := population(rng, cfg.NP, dim, lo, hi)
+	fit := make([]float64, cfg.NP)
+	best := 0
+	for i := range pop {
+		fit[i] = sphere(pop[i])
+		if fit[i] < fit[best] {
+			best = i
+		}
+	}
+	for gen := 0; gen < 120; gen++ {
+		trials := Generation(pop, best, lo, hi, cfg, rng)
+		for i, tr := range trials {
+			if f := sphere(tr); f <= fit[i] {
+				pop[i], fit[i] = tr, f
+			}
+		}
+		for i := range fit {
+			if fit[i] < fit[best] {
+				best = i
+			}
+		}
+	}
+	if fit[best] > 1e-4 {
+		t.Errorf("DE did not converge: best = %v at %v", fit[best], pop[best])
+	}
+	for _, v := range pop[best] {
+		if math.Abs(v-1) > 0.05 {
+			t.Errorf("solution coordinate %v far from 1", v)
+		}
+	}
+}

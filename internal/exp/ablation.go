@@ -1,0 +1,107 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/eda-go/moheco/internal/circuits"
+	"github.com/eda-go/moheco/internal/core"
+	"github.com/eda-go/moheco/internal/randx"
+	"github.com/eda-go/moheco/internal/sample"
+	"github.com/eda-go/moheco/internal/stats"
+	"github.com/eda-go/moheco/internal/yieldsim"
+)
+
+// AblationVariant is one configuration of the ablation study: MOHECO with
+// one design choice altered.
+type AblationVariant struct {
+	Label  string
+	Mutate func(*core.Options)
+}
+
+// AblationVariants returns the design-choice ablations DESIGN.md calls out:
+// the sampler (LHS vs PMC), acceptance sampling on/off, the memetic
+// operator on/off, and the stage-2 promotion threshold.
+func AblationVariants() []AblationVariant {
+	return []AblationVariant{
+		{Label: "MOHECO (baseline)", Mutate: func(o *core.Options) {}},
+		{Label: "PMC instead of LHS", Mutate: func(o *core.Options) { o.Sampler = sample.PMC{} }},
+		{Label: "Halton instead of LHS", Mutate: func(o *core.Options) { o.Sampler = sample.Halton{} }},
+		{Label: "no acceptance sampling", Mutate: func(o *core.Options) { o.AcceptanceSampling = false }},
+		{Label: "no memetic operator", Mutate: func(o *core.Options) { o.Method = core.MethodOOOnly }},
+		{Label: "promotion threshold 0.90", Mutate: func(o *core.Options) { o.Threshold = 0.90 }},
+		{Label: "promotion threshold 0.99", Mutate: func(o *core.Options) { o.Threshold = 0.99 }},
+	}
+}
+
+// AblationRow aggregates one variant's runs.
+type AblationRow struct {
+	Label     string
+	Deviation stats.Summary
+	Sims      stats.Summary
+	Feasible  int // runs that found a feasible design
+}
+
+// AblationResult is the full study.
+type AblationResult struct {
+	Problem string
+	Rows    []AblationRow
+	Runs    int
+}
+
+// RunAblation executes every variant on example 1 for cfg.Runs repetitions.
+func RunAblation(cfg Config) (*AblationResult, error) {
+	p := circuits.NewFoldedCascode()
+	out := &AblationResult{Problem: p.Name(), Runs: cfg.Runs}
+	for vi, v := range AblationVariants() {
+		devs := make([]float64, 0, cfg.Runs)
+		sims := make([]float64, 0, cfg.Runs)
+		feasible := 0
+		for run := 0; run < cfg.Runs; run++ {
+			opts := core.DefaultOptions(core.MethodMOHECO, 500)
+			opts.MaxGenerations = cfg.MaxGens
+			// Same seeds across variants: paired comparison.
+			opts.Seed = randx.DeriveSeed(cfg.Seed, 0xab, uint64(run))
+			v.Mutate(&opts)
+			res, err := core.Optimize(p, opts)
+			if err != nil {
+				return nil, fmt.Errorf("ablation %q run %d: %w", v.Label, run, err)
+			}
+			sims = append(sims, float64(res.TotalSims))
+			if res.Feasible {
+				feasible++
+				ref, _, err := yieldsim.Reference(p, res.BestX, cfg.RefSamples,
+					randx.DeriveSeed(cfg.Seed, 0xab5, uint64(vi), uint64(run)), nil)
+				if err != nil {
+					return nil, err
+				}
+				d := res.BestYield - ref
+				if d < 0 {
+					d = -d
+				}
+				devs = append(devs, d)
+			}
+			if cfg.Progress != nil {
+				fmt.Fprintf(cfg.Progress, "ablation: %s run %d/%d: sims=%d\n",
+					v.Label, run+1, cfg.Runs, res.TotalSims)
+			}
+		}
+		out.Rows = append(out.Rows, AblationRow{
+			Label:     v.Label,
+			Deviation: stats.Summarize(devs),
+			Sims:      stats.Summarize(sims),
+			Feasible:  feasible,
+		})
+	}
+	return out, nil
+}
+
+// Render prints the ablation study.
+func (r *AblationResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "Ablation study — MOHECO design choices on %s (%d runs each)\n", r.Problem, r.Runs)
+	fmt.Fprintf(w, "%-28s %12s %12s %10s\n", "variant", "avg dev", "avg sims", "feasible")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-28s %11.2f%% %12.0f %7d/%d\n",
+			row.Label, 100*row.Deviation.Average, row.Sims.Average, row.Feasible, r.Runs)
+	}
+}

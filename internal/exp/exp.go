@@ -1,0 +1,250 @@
+// Package exp is the experiment harness that regenerates every table and
+// figure of the paper's evaluation (section 3): Tables 1–2 (example 1
+// accuracy and cost), Tables 3–4 (example 2), Fig. 3 (OCBA allocation inside
+// one population), Fig. 6 (per-method accuracy/cost series) and the §3.4
+// response-surface comparison. The same code backs `go test -bench` targets
+// (reduced configurations) and cmd/paperbench (paper-scale runs).
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"github.com/eda-go/moheco/internal/circuits"
+	"github.com/eda-go/moheco/internal/core"
+	"github.com/eda-go/moheco/internal/problem"
+	"github.com/eda-go/moheco/internal/randx"
+	"github.com/eda-go/moheco/internal/rsb"
+	"github.com/eda-go/moheco/internal/stats"
+	"github.com/eda-go/moheco/internal/yieldsim"
+)
+
+// Config sets the scale of an experiment.
+type Config struct {
+	// Runs is the number of independent repetitions per method (paper: 10).
+	Runs int
+	// RefSamples is the reference MC sample count (paper: 50,000).
+	RefSamples int
+	// MaxGens caps optimizer generations per run.
+	MaxGens int
+	// Seed derives all per-run seeds.
+	Seed uint64
+	// Progress, when non-nil, receives one line per completed run.
+	Progress io.Writer
+}
+
+// Full returns the paper-scale configuration.
+func Full() Config {
+	return Config{Runs: 10, RefSamples: 50000, MaxGens: 300, Seed: 2010}
+}
+
+// Quick returns a reduced configuration for tests and benchmarks.
+func Quick() Config {
+	return Config{Runs: 3, RefSamples: 20000, MaxGens: 150, Seed: 2010}
+}
+
+// MethodSpec names one compared method.
+type MethodSpec struct {
+	// Label is the table row name ("500 simulations (AS+LHS)", "MOHECO"...).
+	Label string
+	// Method selects the optimizer variant.
+	Method core.Method
+	// FixedSims is the per-candidate budget of fixed-budget rows.
+	FixedSims int
+	// MaxSims is the stage-2 / reporting budget.
+	MaxSims int
+}
+
+// Example1Methods returns the five rows of Tables 1–2.
+func Example1Methods() []MethodSpec {
+	return []MethodSpec{
+		{Label: "300 simulations (AS+LHS)", Method: core.MethodFixedBudget, FixedSims: 300, MaxSims: 300},
+		{Label: "500 simulations (AS+LHS)", Method: core.MethodFixedBudget, FixedSims: 500, MaxSims: 500},
+		{Label: "700 simulations (AS+LHS)", Method: core.MethodFixedBudget, FixedSims: 700, MaxSims: 700},
+		{Label: "OO+AS+LHS", Method: core.MethodOOOnly, MaxSims: 500},
+		{Label: "MOHECO", Method: core.MethodMOHECO, MaxSims: 500},
+	}
+}
+
+// Example2Methods returns the three rows of Tables 3–4.
+func Example2Methods() []MethodSpec {
+	return []MethodSpec{
+		{Label: "300 simulations (AS+LHS)", Method: core.MethodFixedBudget, FixedSims: 300, MaxSims: 300},
+		{Label: "500 simulations (AS+LHS)", Method: core.MethodFixedBudget, FixedSims: 500, MaxSims: 500},
+		{Label: "MOHECO", Method: core.MethodMOHECO, MaxSims: 500},
+	}
+}
+
+// RunStat is one optimization run's scored outcome.
+type RunStat struct {
+	Seed        uint64
+	Deviation   float64 // |reported − reference yield|
+	Sims        int64   // total simulator invocations
+	Yield       float64 // reported
+	RefYield    float64 // 50k-sample reference
+	Generations int
+	Feasible    bool
+	StopReason  string
+}
+
+// MethodResult aggregates one method's runs.
+type MethodResult struct {
+	Label     string
+	Runs      []RunStat
+	Deviation stats.Summary // of |reported − reference|
+	Sims      stats.Summary // of total simulation counts
+}
+
+// TableResult holds one experiment table (a deviation table and a cost
+// table share the same runs).
+type TableResult struct {
+	Name    string
+	Problem string
+	Methods []MethodResult
+}
+
+// RunTable executes every method for cfg.Runs repetitions on the problem.
+func RunTable(name string, p problem.Problem, methods []MethodSpec, cfg Config) (*TableResult, error) {
+	out := &TableResult{Name: name, Problem: p.Name()}
+	for mi, spec := range methods {
+		mr := MethodResult{Label: spec.Label}
+		devs := make([]float64, 0, cfg.Runs)
+		sims := make([]float64, 0, cfg.Runs)
+		for run := 0; run < cfg.Runs; run++ {
+			seed := randx.DeriveSeed(cfg.Seed, uint64(mi), uint64(run))
+			opts := core.DefaultOptions(spec.Method, spec.MaxSims)
+			opts.FixedSims = spec.FixedSims
+			opts.MaxGenerations = cfg.MaxGens
+			opts.Seed = seed
+			res, err := core.Optimize(p, opts)
+			if err != nil {
+				return nil, fmt.Errorf("%s run %d: %w", spec.Label, run, err)
+			}
+			st := RunStat{
+				Seed:        seed,
+				Sims:        res.TotalSims,
+				Yield:       res.BestYield,
+				Generations: res.Generations,
+				Feasible:    res.Feasible,
+				StopReason:  res.StopReason,
+			}
+			if res.Feasible {
+				ref, _, err := yieldsim.Reference(p, res.BestX, cfg.RefSamples,
+					randx.DeriveSeed(cfg.Seed, 0x4ef, uint64(mi), uint64(run)), nil)
+				if err != nil {
+					return nil, err
+				}
+				st.RefYield = ref
+				st.Deviation = math.Abs(res.BestYield - ref)
+				devs = append(devs, st.Deviation)
+			}
+			sims = append(sims, float64(res.TotalSims))
+			mr.Runs = append(mr.Runs, st)
+			if cfg.Progress != nil {
+				fmt.Fprintf(cfg.Progress, "%s: %s run %d/%d: gens=%d sims=%d yield=%.4f ref=%.4f stop=%s\n",
+					name, spec.Label, run+1, cfg.Runs, st.Generations, st.Sims, st.Yield, st.RefYield, st.StopReason)
+			}
+		}
+		mr.Deviation = stats.Summarize(devs)
+		mr.Sims = stats.Summarize(sims)
+		out.Methods = append(out.Methods, mr)
+	}
+	return out, nil
+}
+
+// RenderDeviation writes the Table 1/3 style rows (yield deviation from the
+// reference estimate, in percent).
+func (t *TableResult) RenderDeviation(w io.Writer) {
+	fmt.Fprintf(w, "%s — deviation of reported yield from %s reference (%%)\n", t.Name, t.Problem)
+	fmt.Fprintf(w, "%-28s %8s %8s %8s %10s\n", "method", "best", "worst", "average", "variance")
+	for _, m := range t.Methods {
+		d := m.Deviation
+		fmt.Fprintf(w, "%-28s %7.2f%% %7.2f%% %7.2f%% %10.2e\n",
+			m.Label, 100*d.Best, 100*d.Worst, 100*d.Average, d.Variance)
+	}
+}
+
+// RenderSims writes the Table 2/4 style rows (total simulation counts).
+func (t *TableResult) RenderSims(w io.Writer) {
+	fmt.Fprintf(w, "%s — total number of simulations (%s)\n", t.Name, t.Problem)
+	fmt.Fprintf(w, "%-28s %10s %10s %10s %12s\n", "method", "best", "worst", "average", "variance")
+	for _, m := range t.Methods {
+		s := m.Sims
+		fmt.Fprintf(w, "%-28s %10.0f %10.0f %10.0f %12.3e\n",
+			m.Label, s.Best, s.Worst, s.Average, s.Variance)
+	}
+	// The paper's headline ratio: MOHECO vs the 500-simulation method.
+	var fixed500, moheco, ooOnly float64
+	for _, m := range t.Methods {
+		switch m.Label {
+		case "500 simulations (AS+LHS)":
+			fixed500 = m.Sims.Average
+		case "MOHECO":
+			moheco = m.Sims.Average
+		case "OO+AS+LHS":
+			ooOnly = m.Sims.Average
+		}
+	}
+	if fixed500 > 0 && moheco > 0 {
+		fmt.Fprintf(w, "MOHECO / 500-sim AS+LHS cost ratio: %.2f%%\n", 100*moheco/fixed500)
+	}
+	if fixed500 > 0 && ooOnly > 0 {
+		fmt.Fprintf(w, "OO+AS+LHS / 500-sim AS+LHS cost ratio: %.2f%%\n", 100*ooOnly/fixed500)
+	}
+}
+
+// Table1and2 runs the example-1 experiment behind Tables 1 and 2.
+func Table1and2(cfg Config) (*TableResult, error) {
+	return RunTable("Tables 1-2", circuits.NewFoldedCascode(), Example1Methods(), cfg)
+}
+
+// Table3and4 runs the example-2 experiment behind Tables 3 and 4.
+func Table3and4(cfg Config) (*TableResult, error) {
+	cfg.MaxGens = max(cfg.MaxGens, 250)
+	return RunTable("Tables 3-4", circuits.NewTelescopic(), Example2Methods(), cfg)
+}
+
+// RenderFig6 prints the two series of Fig. 6 (average deviation and average
+// simulation count per method) from the example-1 table.
+func RenderFig6(t *TableResult, w io.Writer) {
+	fmt.Fprintf(w, "Fig. 6 — average yield deviation and simulation count per method (%s)\n", t.Problem)
+	fmt.Fprintf(w, "%-28s %14s %14s\n", "method", "avg deviation", "avg sims")
+	for _, m := range t.Methods {
+		fmt.Fprintf(w, "%-28s %13.2f%% %14.0f\n", m.Label, 100*m.Deviation.Average, m.Sims.Average)
+	}
+}
+
+// RunRSB reproduces §3.4: record a typical MOHECO run on example 1, then
+// train the NN response surface incrementally and measure next-iteration
+// prediction error.
+func RunRSB(cfg Config) (*rsb.Result, error) {
+	p := circuits.NewFoldedCascode()
+	opts := core.DefaultOptions(core.MethodMOHECO, 500)
+	opts.Seed = randx.DeriveSeed(cfg.Seed, 0x5b)
+	opts.MaxGenerations = cfg.MaxGens
+	opts.RecordPopulations = true
+	res, err := core.Optimize(p, opts)
+	if err != nil {
+		return nil, err
+	}
+	return rsb.Run(p, res.History, 20, cfg.Seed, 2)
+}
+
+// RenderRSB prints the §3.4 comparison.
+func RenderRSB(r *rsb.Result, w io.Writer) {
+	fmt.Fprintf(w, "§3.4 — NN response surface (%d hidden, LM) on %s\n", r.Hidden, r.Problem)
+	fmt.Fprintf(w, "%6s %12s %11s %12s %12s\n", "gen", "train pts", "test pts", "train RMS", "predict RMS")
+	for _, c := range r.Checkpoints {
+		fmt.Fprintf(w, "%6d %12d %11d %11.2f%% %11.2f%%\n",
+			c.Gen, c.TrainPoints, c.TestPoints, 100*c.TrainRMS, 100*c.RMS)
+	}
+	fmt.Fprintf(w, "final prediction RMS error: %.2f%% (paper: 6.86%% after 50 iterations)\n", 100*r.FinalRMS)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,80 @@
+package exp
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV exports a table's per-run data for external plotting: one row
+// per (method, run) with deviation, simulation count, yields and stop
+// reason.
+func (t *TableResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{
+		"table", "problem", "method", "run", "seed",
+		"deviation", "sims", "reported_yield", "reference_yield",
+		"generations", "feasible", "stop_reason",
+	}); err != nil {
+		return err
+	}
+	for _, m := range t.Methods {
+		for i, r := range m.Runs {
+			rec := []string{
+				t.Name, t.Problem, m.Label, strconv.Itoa(i), strconv.FormatUint(r.Seed, 10),
+				fmtF(r.Deviation), strconv.FormatInt(r.Sims, 10),
+				fmtF(r.Yield), fmtF(r.RefYield),
+				strconv.Itoa(r.Generations), strconv.FormatBool(r.Feasible), r.StopReason,
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV exports the Fig. 3 population snapshot: one row per candidate.
+func (r *Fig3Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{"generation", "candidate", "yield", "samples", "sims"}); err != nil {
+		return err
+	}
+	for i := range r.Yields {
+		rec := []string{
+			strconv.Itoa(r.Gen), strconv.Itoa(i),
+			fmtF(r.Yields[i]), strconv.Itoa(r.Samples[i]), strconv.Itoa(r.Sims[i]),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV exports the ablation rows.
+func (r *AblationResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{"variant", "avg_deviation", "avg_sims", "feasible_runs", "runs"}); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		rec := []string{
+			row.Label, fmtF(row.Deviation.Average), fmtF(row.Sims.Average),
+			strconv.Itoa(row.Feasible), strconv.Itoa(r.Runs),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func fmtF(v float64) string { return fmt.Sprintf("%.6g", v) }

@@ -1,0 +1,54 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNotPositiveDefinite reports a failed Cholesky factorization.
+var ErrNotPositiveDefinite = errors.New("linalg: matrix is not positive definite")
+
+// Cholesky computes the lower-triangular factor L of a symmetric
+// positive-definite matrix a, such that L·Lᵀ = a. The input is not
+// modified. It is used to impose correlation structures on the inter-die
+// process variables (ξ_corr = L·ξ with ξ ~ N(0, I) gives Cov = a).
+func Cholesky(a *Matrix) (*Matrix, error) {
+	if a.Rows != a.Cols {
+		return nil, errors.New("linalg: Cholesky of non-square matrix")
+	}
+	n := a.Rows
+	l := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a.At(i, j)
+			for k := 0; k < j; k++ {
+				sum -= l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				if sum <= 0 || math.IsNaN(sum) {
+					return nil, ErrNotPositiveDefinite
+				}
+				l.Set(i, i, math.Sqrt(sum))
+			} else {
+				l.Set(i, j, sum/l.At(j, j))
+			}
+		}
+	}
+	return l, nil
+}
+
+// LowerMulVec returns L·x for a lower-triangular matrix, exploiting the
+// structure (half the work of a general MulVec).
+func LowerMulVec(l *Matrix, x []float64) []float64 {
+	n := l.Rows
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := 0.0
+		row := l.Data[i*l.Cols : i*l.Cols+i+1]
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}

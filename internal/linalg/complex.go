@@ -1,0 +1,105 @@
+package linalg
+
+import (
+	"errors"
+	"math/cmplx"
+)
+
+// CMatrix is a dense row-major complex matrix, used by the AC analysis of the
+// MNA engine where conductance and susceptance stamps combine as G + jωC.
+type CMatrix struct {
+	Rows, Cols int
+	Data       []complex128
+}
+
+// NewCMatrix returns a zero complex matrix with the given shape.
+func NewCMatrix(rows, cols int) *CMatrix {
+	return &CMatrix{Rows: rows, Cols: cols, Data: make([]complex128, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *CMatrix) At(i, j int) complex128 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *CMatrix) Set(i, j int, v complex128) { m.Data[i*m.Cols+j] = v }
+
+// Add adds v to element (i, j).
+func (m *CMatrix) Add(i, j int, v complex128) { m.Data[i*m.Cols+j] += v }
+
+// Zero resets all elements, keeping the allocation.
+func (m *CMatrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Clone returns a deep copy.
+func (m *CMatrix) Clone() *CMatrix {
+	c := NewCMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// CSolve solves the complex system a x = b by LU with partial pivoting.
+// The input matrix is modified in place (callers pass scratch copies).
+func CSolve(a *CMatrix, b []complex128) ([]complex128, error) {
+	if a.Rows != a.Cols {
+		return nil, errors.New("linalg: CSolve of non-square matrix")
+	}
+	n := a.Rows
+	if len(b) != n {
+		return nil, errors.New("linalg: rhs length mismatch")
+	}
+	x := make([]complex128, n)
+	copy(x, b)
+	piv := make([]int, n)
+	for i := range piv {
+		piv[i] = i
+	}
+	for k := 0; k < n; k++ {
+		p, max := k, cmplx.Abs(a.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if v := cmplx.Abs(a.At(i, k)); v > max {
+				p, max = i, v
+			}
+		}
+		if max == 0 {
+			return nil, ErrSingular
+		}
+		if p != k {
+			rowP := a.Data[p*n : (p+1)*n]
+			rowK := a.Data[k*n : (k+1)*n]
+			for j := 0; j < n; j++ {
+				rowP[j], rowK[j] = rowK[j], rowP[j]
+			}
+			x[p], x[k] = x[k], x[p]
+		}
+		pivot := a.At(k, k)
+		for i := k + 1; i < n; i++ {
+			m := a.At(i, k) / pivot
+			if m == 0 {
+				continue
+			}
+			a.Set(i, k, 0)
+			rowI := a.Data[i*n : (i+1)*n]
+			rowK := a.Data[k*n : (k+1)*n]
+			for j := k + 1; j < n; j++ {
+				rowI[j] -= m * rowK[j]
+			}
+			x[i] -= m * x[k]
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		row := a.Data[i*n : (i+1)*n]
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= row[j] * x[j]
+		}
+		d := row[i]
+		if d == 0 {
+			return nil, ErrSingular
+		}
+		x[i] = s / d
+	}
+	return x, nil
+}

@@ -1,0 +1,24 @@
+package netlist_test
+
+import (
+	"fmt"
+
+	"github.com/eda-go/moheco/internal/netlist"
+)
+
+// SPICE-style engineering suffixes parse to SI values.
+func ExampleParseValue() {
+	for _, s := range []string{"10u", "2.2k", "3meg", "150p"} {
+		v, err := netlist.ParseValue(s)
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		fmt.Printf("%s = %.4g\n", s, v)
+	}
+	// Output:
+	// 10u = 1e-05
+	// 2.2k = 2200
+	// 3meg = 3e+06
+	// 150p = 1.5e-10
+}

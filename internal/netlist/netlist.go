@@ -1,0 +1,257 @@
+// Package netlist provides the circuit data model consumed by the MNA engine
+// in internal/spice: named nodes, passive and active devices, and a
+// SPICE-like text format parser/writer so circuits can be described in files
+// (the role HSPICE decks play in the paper's flow).
+package netlist
+
+import (
+	"fmt"
+
+	"github.com/eda-go/moheco/internal/mos"
+)
+
+// Ground is the node index of the reference node "0".
+const Ground = 0
+
+// Circuit is a flat netlist: a node table plus a device list.
+type Circuit struct {
+	Title   string
+	nodes   map[string]int
+	names   []string
+	Devices []Device
+	Models  map[string]*mos.Params
+}
+
+// New returns an empty circuit containing only the ground node.
+func New(title string) *Circuit {
+	c := &Circuit{
+		Title:  title,
+		nodes:  map[string]int{"0": Ground, "gnd": Ground, "GND": Ground},
+		names:  []string{"0"},
+		Models: map[string]*mos.Params{},
+	}
+	return c
+}
+
+// Node returns the index for name, creating the node on first use.
+func (c *Circuit) Node(name string) int {
+	if i, ok := c.nodes[name]; ok {
+		return i
+	}
+	i := len(c.names)
+	c.nodes[name] = i
+	c.names = append(c.names, name)
+	return i
+}
+
+// FindNode returns the index for name without creating it.
+func (c *Circuit) FindNode(name string) (int, bool) {
+	i, ok := c.nodes[name]
+	return i, ok
+}
+
+// NodeName returns the name of node i.
+func (c *Circuit) NodeName(i int) string {
+	if i < 0 || i >= len(c.names) {
+		return fmt.Sprintf("node#%d", i)
+	}
+	return c.names[i]
+}
+
+// NumNodes returns the number of nodes including ground.
+func (c *Circuit) NumNodes() int { return len(c.names) }
+
+// Device is any circuit element.
+type Device interface {
+	// DevName returns the instance name (R1, M3, ...).
+	DevName() string
+}
+
+// Resistor is a two-terminal linear resistor.
+type Resistor struct {
+	Name   string
+	N1, N2 int
+	R      float64 // Ω
+}
+
+// DevName implements Device.
+func (r *Resistor) DevName() string { return r.Name }
+
+// Capacitor is a two-terminal linear capacitor.
+type Capacitor struct {
+	Name   string
+	N1, N2 int
+	C      float64 // F
+}
+
+// DevName implements Device.
+func (c *Capacitor) DevName() string { return c.Name }
+
+// VSource is an independent voltage source (positive terminal NP).
+type VSource struct {
+	Name   string
+	NP, NN int
+	DC     float64 // V
+	ACMag  float64 // AC analysis magnitude (V)
+	Pulse  *Pulse  // optional transient waveform
+}
+
+// DevName implements Device.
+func (v *VSource) DevName() string { return v.Name }
+
+// ISource is an independent current source; DC amps flow from NP through the
+// source to NN (SPICE convention).
+type ISource struct {
+	Name   string
+	NP, NN int
+	DC     float64
+	ACMag  float64
+	Pulse  *Pulse // optional transient waveform
+}
+
+// DevName implements Device.
+func (i *ISource) DevName() string { return i.Name }
+
+// VCVS is a voltage-controlled voltage source (E element).
+type VCVS struct {
+	Name     string
+	NP, NN   int
+	NCP, NCN int
+	Gain     float64
+}
+
+// DevName implements Device.
+func (e *VCVS) DevName() string { return e.Name }
+
+// VCCS is a voltage-controlled current source (G element); current Gm·Vc
+// flows from NP through the source to NN.
+type VCCS struct {
+	Name     string
+	NP, NN   int
+	NCP, NCN int
+	Gm       float64
+}
+
+// DevName implements Device.
+func (g *VCCS) DevName() string { return g.Name }
+
+// Mosfet is a four-terminal MOS transistor instance.
+type Mosfet struct {
+	Name       string
+	D, G, S, B int
+	Dev        mos.Device // model card + geometry
+}
+
+// DevName implements Device.
+func (m *Mosfet) DevName() string { return m.Name }
+
+// Add appends a device.
+func (c *Circuit) Add(d Device) { c.Devices = append(c.Devices, d) }
+
+// AddR adds a resistor between named nodes.
+func (c *Circuit) AddR(name, n1, n2 string, r float64) *Resistor {
+	d := &Resistor{Name: name, N1: c.Node(n1), N2: c.Node(n2), R: r}
+	c.Add(d)
+	return d
+}
+
+// AddC adds a capacitor between named nodes.
+func (c *Circuit) AddC(name, n1, n2 string, f float64) *Capacitor {
+	d := &Capacitor{Name: name, N1: c.Node(n1), N2: c.Node(n2), C: f}
+	c.Add(d)
+	return d
+}
+
+// AddV adds a voltage source.
+func (c *Circuit) AddV(name, np, nn string, dc, acMag float64) *VSource {
+	d := &VSource{Name: name, NP: c.Node(np), NN: c.Node(nn), DC: dc, ACMag: acMag}
+	c.Add(d)
+	return d
+}
+
+// AddI adds a current source.
+func (c *Circuit) AddI(name, np, nn string, dc, acMag float64) *ISource {
+	d := &ISource{Name: name, NP: c.Node(np), NN: c.Node(nn), DC: dc, ACMag: acMag}
+	c.Add(d)
+	return d
+}
+
+// AddE adds a voltage-controlled voltage source.
+func (c *Circuit) AddE(name, np, nn, ncp, ncn string, gain float64) *VCVS {
+	d := &VCVS{Name: name, NP: c.Node(np), NN: c.Node(nn), NCP: c.Node(ncp), NCN: c.Node(ncn), Gain: gain}
+	c.Add(d)
+	return d
+}
+
+// AddG adds a voltage-controlled current source.
+func (c *Circuit) AddG(name, np, nn, ncp, ncn string, gm float64) *VCCS {
+	d := &VCCS{Name: name, NP: c.Node(np), NN: c.Node(nn), NCP: c.Node(ncp), NCN: c.Node(ncn), Gm: gm}
+	c.Add(d)
+	return d
+}
+
+// AddM adds a MOSFET with the given model card and geometry.
+func (c *Circuit) AddM(name, d, g, s, b string, params *mos.Params, w, l, m float64) *Mosfet {
+	dev := &Mosfet{
+		Name: name,
+		D:    c.Node(d), G: c.Node(g), S: c.Node(s), B: c.Node(b),
+		Dev: mos.Device{Params: params, W: w, L: l, M: m},
+	}
+	c.Add(dev)
+	return dev
+}
+
+// Validate performs basic sanity checks (every device touching valid nodes,
+// unique instance names) and returns the first problem found.
+func (c *Circuit) Validate() error {
+	seen := map[string]bool{}
+	check := func(name string, nodes ...int) error {
+		if name == "" {
+			return fmt.Errorf("netlist: unnamed device")
+		}
+		if seen[name] {
+			return fmt.Errorf("netlist: duplicate device name %q", name)
+		}
+		seen[name] = true
+		for _, n := range nodes {
+			if n < 0 || n >= c.NumNodes() {
+				return fmt.Errorf("netlist: device %q references invalid node %d", name, n)
+			}
+		}
+		return nil
+	}
+	for _, d := range c.Devices {
+		var err error
+		switch t := d.(type) {
+		case *Resistor:
+			err = check(t.Name, t.N1, t.N2)
+			if err == nil && t.R <= 0 {
+				err = fmt.Errorf("netlist: resistor %q has non-positive value", t.Name)
+			}
+		case *Capacitor:
+			err = check(t.Name, t.N1, t.N2)
+			if err == nil && t.C < 0 {
+				err = fmt.Errorf("netlist: capacitor %q has negative value", t.Name)
+			}
+		case *VSource:
+			err = check(t.Name, t.NP, t.NN)
+		case *ISource:
+			err = check(t.Name, t.NP, t.NN)
+		case *VCVS:
+			err = check(t.Name, t.NP, t.NN, t.NCP, t.NCN)
+		case *VCCS:
+			err = check(t.Name, t.NP, t.NN, t.NCP, t.NCN)
+		case *Mosfet:
+			err = check(t.Name, t.D, t.G, t.S, t.B)
+			if err == nil && (t.Dev.Params == nil || t.Dev.W <= 0 || t.Dev.L <= 0) {
+				err = fmt.Errorf("netlist: mosfet %q has invalid model or geometry", t.Name)
+			}
+		default:
+			err = fmt.Errorf("netlist: unknown device type %T", d)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

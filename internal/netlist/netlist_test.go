@@ -1,0 +1,263 @@
+package netlist
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/eda-go/moheco/internal/mos"
+)
+
+func TestParseValue(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+	}{
+		{"10", 10},
+		{"10u", 1e-5},
+		{"2.2n", 2.2e-9},
+		{"3p", 3e-12},
+		{"1.5f", 1.5e-15},
+		{"4k", 4000},
+		{"2meg", 2e6},
+		{"1g", 1e9},
+		{"1t", 1e12},
+		{"-3m", -3e-3},
+		{"1e-6", 1e-6},
+	}
+	for _, c := range cases {
+		got, err := ParseValue(c.in)
+		if err != nil {
+			t.Errorf("ParseValue(%q): %v", c.in, err)
+			continue
+		}
+		if math.Abs(got-c.want) > 1e-12*math.Abs(c.want)+1e-30 {
+			t.Errorf("ParseValue(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", "abc", "10x3"} {
+		if _, err := ParseValue(bad); err == nil {
+			t.Errorf("ParseValue(%q) should fail", bad)
+		}
+	}
+}
+
+// Property: FormatValue round-trips through ParseValue.
+func TestValueRoundTrip(t *testing.T) {
+	f := func(mant int32, exp uint8) bool {
+		v := float64(mant) / 1000 * math.Pow(10, float64(int(exp%24))-12)
+		s := FormatValue(v)
+		back, err := ParseValue(s)
+		if err != nil {
+			return false
+		}
+		if v == 0 {
+			return back == 0
+		}
+		return math.Abs(back-v) <= 1e-9*math.Abs(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNodeTable(t *testing.T) {
+	c := New("t")
+	if c.Node("0") != Ground || c.Node("gnd") != Ground {
+		t.Error("ground aliases broken")
+	}
+	a := c.Node("a")
+	if b := c.Node("a"); b != a {
+		t.Error("Node not idempotent")
+	}
+	if _, ok := c.FindNode("zzz"); ok {
+		t.Error("FindNode invented a node")
+	}
+	if c.NodeName(a) != "a" {
+		t.Errorf("NodeName = %q", c.NodeName(a))
+	}
+	if !strings.Contains(c.NodeName(99), "99") {
+		t.Error("NodeName should render unknown indices")
+	}
+}
+
+const demoNetlist = `* demo divider
+V1 in 0 2.0 ac 1
+R1 in out 1k
+R2 out 0 1k
+C1 out 0 1p
+.end
+`
+
+func TestParseDivider(t *testing.T) {
+	c, err := Parse(strings.NewReader(demoNetlist), nil)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if c.Title != "demo divider" {
+		t.Errorf("title = %q", c.Title)
+	}
+	if len(c.Devices) != 4 {
+		t.Fatalf("devices = %d", len(c.Devices))
+	}
+	v, ok := c.Devices[0].(*VSource)
+	if !ok || v.DC != 2.0 || v.ACMag != 1 {
+		t.Errorf("vsource parsed wrong: %+v", c.Devices[0])
+	}
+	r, ok := c.Devices[1].(*Resistor)
+	if !ok || r.R != 1000 {
+		t.Errorf("resistor parsed wrong: %+v", c.Devices[1])
+	}
+}
+
+func TestParseMosfetWithModelCard(t *testing.T) {
+	src := `* mos test
+.model nch nmos VTH0=0.55 U0=0.04 TOX=7.6n LAMBDA0=0.06 GAMMA=0.58 PHI=0.85
+V1 vdd 0 3.3
+M1 out in 0 0 nch W=10u L=1u M=2
+R1 vdd out 10k
+V2 in 0 1.0
+.end
+`
+	c, err := Parse(strings.NewReader(src), nil)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	var m *Mosfet
+	for _, d := range c.Devices {
+		if mm, ok := d.(*Mosfet); ok {
+			m = mm
+		}
+	}
+	if m == nil {
+		t.Fatal("no mosfet parsed")
+	}
+	if math.Abs(m.Dev.W-10e-6) > 1e-16 || math.Abs(m.Dev.L-1e-6) > 1e-16 || m.Dev.M != 2 {
+		t.Errorf("geometry: W=%v L=%v M=%v", m.Dev.W, m.Dev.L, m.Dev.M)
+	}
+	if m.Dev.Params.VTH0 != 0.55 {
+		t.Errorf("VTH0 = %v", m.Dev.Params.VTH0)
+	}
+}
+
+func TestParseWithExternalModels(t *testing.T) {
+	models := map[string]*mos.Params{
+		"nch": {Name: "nch", VTH0: 0.5, U0: 0.04, TOX: 8e-9, Lambda0: 0.06, Gamma: 0.5, Phi: 0.8},
+	}
+	src := "M1 d g 0 0 nch W=5u L=0.5u\nV1 d 0 1\nV2 g 0 1\n.end\n"
+	if _, err := Parse(strings.NewReader(src), models); err != nil {
+		t.Fatalf("parse with external models: %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"Q1 a b c 5\n",                  // unknown card
+		"R1 a b\n",                      // missing value
+		"R1 a b xx\n",                   // bad value
+		"M1 d g s b nope W=1u L=1u\n",   // unknown model
+		"E1 a b c 5\n",                  // wrong field count
+		".model foo bar\n",              // bad model type
+		"M1 d g s b nch L=1u\nV1 d 0 1", // missing W (model known)
+	}
+	models := map[string]*mos.Params{"nch": {Name: "nch", VTH0: 0.5, U0: 0.03, TOX: 5e-9}}
+	for _, src := range bad {
+		if _, err := Parse(strings.NewReader(src), models); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	c := New("v")
+	c.AddR("R1", "a", "b", 1000)
+	if err := c.Validate(); err != nil {
+		t.Errorf("valid circuit rejected: %v", err)
+	}
+	c.AddR("R1", "a", "b", 1) // duplicate
+	if err := c.Validate(); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	c2 := New("v2")
+	c2.AddR("R1", "a", "b", -5)
+	if err := c2.Validate(); err == nil {
+		t.Error("negative resistor accepted")
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	c := New("round trip")
+	c.AddV("V1", "vdd", "0", 3.3, 0)
+	c.AddV("Vin", "in", "0", 1.65, 1)
+	c.AddR("R1", "vdd", "out", 10e3)
+	c.AddC("C1", "out", "0", 2e-12)
+	c.AddI("I1", "vdd", "out", 10e-6, 0)
+	c.AddE("E1", "x", "0", "out", "0", 10)
+	c.AddG("G1", "out", "0", "in", "0", 1e-3)
+	p := &mos.Params{Name: "nch", VTH0: 0.55, U0: 0.04, TOX: 7.6e-9, Lambda0: 0.06, Gamma: 0.58, Phi: 0.85}
+	c.AddM("M1", "out", "in", "0", "0", p, 10e-6, 1e-6, 1)
+
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	c2, err := Parse(strings.NewReader(buf.String()), map[string]*mos.Params{"nch": p})
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, buf.String())
+	}
+	if len(c2.Devices) != len(c.Devices) {
+		t.Fatalf("device count %d != %d", len(c2.Devices), len(c.Devices))
+	}
+	if c2.Title != "round trip" {
+		t.Errorf("title = %q", c2.Title)
+	}
+	// Values survive.
+	r2 := c2.Devices[2].(*Resistor)
+	if math.Abs(r2.R-10e3) > 1e-6 {
+		t.Errorf("R = %v", r2.R)
+	}
+	m2 := c2.Devices[7].(*Mosfet)
+	if math.Abs(m2.Dev.W-10e-6) > 1e-18 {
+		t.Errorf("W = %v", m2.Dev.W)
+	}
+}
+
+func TestParsePulseSources(t *testing.T) {
+	src := `* pulses
+V1 in 0 0 pulse 0 3.3 1n 0.5n 0.5n 10n 20n
+I1 in 0 1u ac 2 pulse 0 1m 0 1n 1n 5n
+R1 in 0 1k
+.end
+`
+	c, err := Parse(strings.NewReader(src), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := c.Devices[0].(*VSource)
+	if v.Pulse == nil {
+		t.Fatal("V1 pulse not parsed")
+	}
+	if v.Pulse.V2 != 3.3 || math.Abs(v.Pulse.Period-20e-9) > 1e-18 {
+		t.Errorf("pulse = %+v", v.Pulse)
+	}
+	i := c.Devices[1].(*ISource)
+	if i.ACMag != 2 || i.Pulse == nil || i.Pulse.V2 != 1e-3 {
+		t.Errorf("isource = %+v pulse %+v", i, i.Pulse)
+	}
+	if i.Pulse.Period != 0 {
+		t.Errorf("7-value pulse should have no period: %v", i.Pulse.Period)
+	}
+	// Source values honour the waveform only at t ≥ 0.
+	if v.SourceValue(-1) != 0 || v.SourceValue(5e-9) != 3.3 {
+		t.Errorf("source values: %v / %v", v.SourceValue(-1), v.SourceValue(5e-9))
+	}
+	// Bad pulse (missing fields) must fail.
+	if _, err := Parse(strings.NewReader("V1 a 0 1 pulse 0 1 2\n"), nil); err == nil {
+		t.Error("short pulse accepted")
+	}
+	if _, err := Parse(strings.NewReader("V1 a 0 1 bogus\n"), nil); err == nil {
+		t.Error("trailing junk accepted")
+	}
+}

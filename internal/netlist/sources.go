@@ -1,0 +1,55 @@
+package netlist
+
+// Pulse is a SPICE PULSE(...) time-dependent source description, used by
+// the transient analysis of the MNA engine. All times in seconds.
+type Pulse struct {
+	V1, V2                   float64 // initial and pulsed value
+	Delay, Rise, Fall, Width float64
+	Period                   float64 // 0 means single pulse
+}
+
+// Value returns the pulse value at time t.
+func (p *Pulse) Value(t float64) float64 {
+	if t < p.Delay {
+		return p.V1
+	}
+	tt := t - p.Delay
+	if p.Period > 0 {
+		for tt >= p.Period {
+			tt -= p.Period
+		}
+	}
+	switch {
+	case tt < p.Rise:
+		if p.Rise <= 0 {
+			return p.V2
+		}
+		return p.V1 + (p.V2-p.V1)*tt/p.Rise
+	case tt < p.Rise+p.Width:
+		return p.V2
+	case tt < p.Rise+p.Width+p.Fall:
+		if p.Fall <= 0 {
+			return p.V1
+		}
+		return p.V2 + (p.V1-p.V2)*(tt-p.Rise-p.Width)/p.Fall
+	default:
+		return p.V1
+	}
+}
+
+// SourceValue returns the source value at time t: the DC value unless a
+// pulse is attached. Negative t (the DC analysis) always returns DC.
+func (v *VSource) SourceValue(t float64) float64 {
+	if t < 0 || v.Pulse == nil {
+		return v.DC
+	}
+	return v.Pulse.Value(t)
+}
+
+// SourceValue returns the current-source value at time t.
+func (i *ISource) SourceValue(t float64) float64 {
+	if t < 0 || i.Pulse == nil {
+		return i.DC
+	}
+	return i.Pulse.Value(t)
+}

@@ -1,0 +1,145 @@
+package nm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func sphere(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v * v
+	}
+	return s
+}
+
+func TestMinimizeSphere(t *testing.T) {
+	lo := []float64{-5, -5, -5}
+	hi := []float64{5, 5, 5}
+	res := Minimize(sphere, []float64{2, -1, 3}, Options{MaxIter: 200, Lo: lo, Hi: hi})
+	if res.F > 1e-4 {
+		t.Errorf("sphere minimum = %v at %v", res.F, res.X)
+	}
+}
+
+func TestMinimizeRosenbrockImproves(t *testing.T) {
+	rosen := func(x []float64) float64 {
+		return 100*math.Pow(x[1]-x[0]*x[0], 2) + math.Pow(1-x[0], 2)
+	}
+	x0 := []float64{-1.2, 1}
+	lo := []float64{-5, -5}
+	hi := []float64{5, 5}
+	f0 := rosen(x0)
+	res := Minimize(rosen, x0, Options{MaxIter: 300, Lo: lo, Hi: hi})
+	if res.F >= f0/10 {
+		t.Errorf("Rosenbrock barely improved: %v -> %v", f0, res.F)
+	}
+}
+
+func TestTenIterationBudget(t *testing.T) {
+	// The memetic operator runs NM for ~10 iterations; it must still make
+	// progress from a decent starting point and must respect the cap.
+	res := Minimize(sphere, []float64{1, 1}, Options{
+		MaxIter: 10,
+		Lo:      []float64{-5, -5},
+		Hi:      []float64{5, 5},
+	})
+	if res.Iterations > 10 {
+		t.Errorf("iterations = %d > 10", res.Iterations)
+	}
+	if res.F >= 2.0 {
+		t.Errorf("no progress in 10 iterations: %v", res.F)
+	}
+}
+
+func TestBoundsRespected(t *testing.T) {
+	// Optimum outside the box: the result must sit inside, near the wall.
+	shifted := func(x []float64) float64 {
+		s := 0.0
+		for _, v := range x {
+			s += (v - 10) * (v - 10)
+		}
+		return s
+	}
+	lo := []float64{-1, -1}
+	hi := []float64{2, 2}
+	res := Minimize(shifted, []float64{0, 0}, Options{MaxIter: 100, Lo: lo, Hi: hi})
+	for j, v := range res.X {
+		if v < lo[j]-1e-12 || v > hi[j]+1e-12 {
+			t.Fatalf("result outside bounds: x[%d] = %v", j, v)
+		}
+	}
+	if res.X[0] < 1.8 || res.X[1] < 1.8 {
+		t.Errorf("result should press against the upper bound: %v", res.X)
+	}
+}
+
+// Property: all evaluated points (hence the result) are inside the box,
+// from arbitrary interior starts.
+func TestBoundsProperty(t *testing.T) {
+	f := func(ax, ay uint8) bool {
+		lo := []float64{-2, -3}
+		hi := []float64{4, 1}
+		x0 := []float64{
+			lo[0] + (hi[0]-lo[0])*float64(ax)/255,
+			lo[1] + (hi[1]-lo[1])*float64(ay)/255,
+		}
+		violated := false
+		obj := func(x []float64) float64 {
+			for j := range x {
+				if x[j] < lo[j]-1e-9 || x[j] > hi[j]+1e-9 {
+					violated = true
+				}
+			}
+			return sphere(x)
+		}
+		res := Minimize(obj, x0, Options{MaxIter: 40, Lo: lo, Hi: hi})
+		for j := range res.X {
+			if res.X[j] < lo[j]-1e-9 || res.X[j] > hi[j]+1e-9 {
+				return false
+			}
+		}
+		return !violated
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStartAtUpperBound(t *testing.T) {
+	// The initial simplex must step inward when the start sits on the wall.
+	lo := []float64{0, 0}
+	hi := []float64{1, 1}
+	res := Minimize(sphere, []float64{1, 1}, Options{MaxIter: 60, Lo: lo, Hi: hi})
+	if res.F > 0.01 {
+		t.Errorf("failed from boundary start: %v at %v", res.F, res.X)
+	}
+}
+
+func TestEvaluationsCounted(t *testing.T) {
+	count := 0
+	obj := func(x []float64) float64 {
+		count++
+		return sphere(x)
+	}
+	res := Minimize(obj, []float64{1, 2}, Options{MaxIter: 15, Lo: []float64{-5, -5}, Hi: []float64{5, 5}})
+	if res.Evaluations != count {
+		t.Errorf("reported %d evaluations, actual %d", res.Evaluations, count)
+	}
+	if count == 0 {
+		t.Error("no evaluations recorded")
+	}
+}
+
+func TestEarlyStopOnFlat(t *testing.T) {
+	flat := func([]float64) float64 { return 1 }
+	res := Minimize(flat, []float64{0.5, 0.5}, Options{
+		MaxIter: 100,
+		Lo:      []float64{0, 0},
+		Hi:      []float64{1, 1},
+	})
+	if res.Iterations > 1 {
+		t.Errorf("flat function should stop immediately, ran %d iterations", res.Iterations)
+	}
+}

@@ -1,0 +1,24 @@
+package ocba_test
+
+import (
+	"fmt"
+
+	"github.com/eda-go/moheco/internal/ocba"
+)
+
+// Four candidates: the allocation concentrates on the best (0.90) and its
+// close competitor (0.88) rather than on the clearly inferior ones.
+func ExampleAllocate() {
+	means := []float64{0.90, 0.88, 0.60, 0.30}
+	stds := []float64{0.10, 0.10, 0.10, 0.10}
+	alloc := ocba.Allocate(means, stds, 1000)
+	total := 0
+	for _, n := range alloc {
+		total += n
+	}
+	fmt.Println("allocation:", alloc)
+	fmt.Println("total:", total)
+	// Output:
+	// allocation: [499 499 2 0]
+	// total: 1000
+}

@@ -1,0 +1,197 @@
+package ocba
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocateBudgetConservation(t *testing.T) {
+	means := []float64{0.9, 0.7, 0.5, 0.3}
+	stds := []float64{0.05, 0.1, 0.15, 0.2}
+	for _, total := range []int{10, 100, 1000, 12345} {
+		alloc := Allocate(means, stds, total)
+		sum := 0
+		for _, n := range alloc {
+			sum += n
+		}
+		if sum != total {
+			t.Errorf("total %d: allocated %d", total, sum)
+		}
+	}
+}
+
+// Property: budget conservation holds for arbitrary inputs.
+func TestAllocateConservationProperty(t *testing.T) {
+	f := func(seed uint16, totRaw uint16) bool {
+		s := int(seed%8) + 2
+		total := int(totRaw%5000) + s
+		means := make([]float64, s)
+		stds := make([]float64, s)
+		for i := range means {
+			means[i] = float64((int(seed)*7+i*13)%100) / 100
+			stds[i] = 0.01 + float64((int(seed)*3+i*17)%50)/100
+		}
+		alloc := Allocate(means, stds, total)
+		sum := 0
+		for _, n := range alloc {
+			if n < 0 {
+				return false
+			}
+			sum += n
+		}
+		return sum == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllocateFavorsCompetitiveCandidates(t *testing.T) {
+	// Candidate 1 is close to the best; candidate 3 is far behind. With
+	// equal noise, the close competitor must receive more samples.
+	means := []float64{0.90, 0.88, 0.60, 0.30}
+	stds := []float64{0.1, 0.1, 0.1, 0.1}
+	alloc := Allocate(means, stds, 1000)
+	if alloc[1] <= alloc[2] || alloc[2] <= alloc[3] {
+		t.Errorf("allocation not ordered by competitiveness: %v", alloc)
+	}
+	// The best gets a serious share too.
+	if alloc[0] < alloc[3] {
+		t.Errorf("best candidate starved: %v", alloc)
+	}
+}
+
+func TestAllocateNoisyGetsMore(t *testing.T) {
+	// Equal gaps; noisier estimate needs more samples.
+	means := []float64{0.9, 0.7, 0.7}
+	stds := []float64{0.1, 0.05, 0.2}
+	alloc := Allocate(means, stds, 1000)
+	if alloc[2] <= alloc[1] {
+		t.Errorf("noisier candidate should receive more: %v", alloc)
+	}
+}
+
+func TestAllocateEdgeCases(t *testing.T) {
+	if got := Allocate(nil, nil, 100); len(got) != 0 {
+		t.Errorf("empty allocation = %v", got)
+	}
+	if got := Allocate([]float64{0.5}, []float64{0.1}, 77); got[0] != 77 {
+		t.Errorf("single candidate = %v", got)
+	}
+	// Zero budget.
+	got := Allocate([]float64{0.5, 0.6}, []float64{0.1, 0.1}, 0)
+	if got[0] != 0 || got[1] != 0 {
+		t.Errorf("zero budget = %v", got)
+	}
+	// Ties with the best must not blow up.
+	got = Allocate([]float64{0.9, 0.9, 0.9}, []float64{0.1, 0.1, 0.1}, 300)
+	sum := 0
+	for _, n := range got {
+		sum += n
+	}
+	if sum != 300 {
+		t.Errorf("tie allocation sums to %d", sum)
+	}
+	// Zero stds must not divide by zero.
+	got = Allocate([]float64{0.9, 0.5}, []float64{0, 0}, 100)
+	if got[0]+got[1] != 100 {
+		t.Errorf("zero-std allocation = %v", got)
+	}
+}
+
+// fakeCandidate simulates a Bernoulli candidate with a known true yield.
+type fakeCandidate struct {
+	p     float64
+	n     int
+	pass  int
+	state uint64
+}
+
+func (f *fakeCandidate) AddSamples(n int) error {
+	for i := 0; i < n; i++ {
+		// xorshift for determinism without package deps
+		f.state ^= f.state << 13
+		f.state ^= f.state >> 7
+		f.state ^= f.state << 17
+		u := float64(f.state%1e9) / 1e9
+		f.n++
+		if u < f.p {
+			f.pass++
+		}
+	}
+	return nil
+}
+func (f *fakeCandidate) Samples() int { return f.n }
+func (f *fakeCandidate) Yield() float64 {
+	if f.n == 0 {
+		return 0
+	}
+	return float64(f.pass) / float64(f.n)
+}
+func (f *fakeCandidate) Std() float64 {
+	p := (float64(f.pass) + 1) / (float64(f.n) + 2)
+	return math.Sqrt(p * (1 - p))
+}
+
+func TestSequencerSpendsBudget(t *testing.T) {
+	cands := []Candidate{
+		&fakeCandidate{p: 0.95, state: 1},
+		&fakeCandidate{p: 0.80, state: 2},
+		&fakeCandidate{p: 0.50, state: 3},
+		&fakeCandidate{p: 0.20, state: 4},
+	}
+	seq := &Sequencer{N0: 15, Delta: 10}
+	budget := 35 * len(cands)
+	used, err := seq.Run(cands, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used < budget || used > budget+40 {
+		t.Errorf("used %d samples for budget %d", used, budget)
+	}
+	total := 0
+	for _, c := range cands {
+		if c.Samples() < 15 {
+			t.Errorf("candidate below n0: %d", c.Samples())
+		}
+		total += c.Samples()
+	}
+	if total != used {
+		t.Errorf("accounting mismatch: %d vs %d", total, used)
+	}
+}
+
+func TestSequencerConcentratesOnContenders(t *testing.T) {
+	// Two closely matched contenders vs two clearly poor candidates: the
+	// contenders should receive the bulk of a large budget.
+	best := &fakeCandidate{p: 0.92, state: 11}
+	rival := &fakeCandidate{p: 0.90, state: 12}
+	low1 := &fakeCandidate{p: 0.30, state: 13}
+	low2 := &fakeCandidate{p: 0.10, state: 14}
+	cands := []Candidate{best, rival, low1, low2}
+	seq := &Sequencer{N0: 15, Delta: 10}
+	if _, err := seq.Run(cands, 2000); err != nil {
+		t.Fatal(err)
+	}
+	contenders := best.Samples() + rival.Samples()
+	losers := low1.Samples() + low2.Samples()
+	if contenders < 3*losers {
+		t.Errorf("contenders %d vs losers %d: OCBA not concentrating", contenders, losers)
+	}
+}
+
+func TestSequencerEmptyAndSingle(t *testing.T) {
+	seq := &Sequencer{}
+	if used, err := seq.Run(nil, 100); err != nil || used != 0 {
+		t.Errorf("empty run: %d, %v", used, err)
+	}
+	c := &fakeCandidate{p: 0.5, state: 9}
+	used, err := seq.Run([]Candidate{c}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used != c.Samples() || c.Samples() < 100 {
+		t.Errorf("single candidate got %d samples (used %d)", c.Samples(), used)
+	}
+}

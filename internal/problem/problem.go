@@ -1,0 +1,100 @@
+// Package problem defines the yield-optimization problem abstraction shared
+// by the estimators, optimizers and experiment harness: a design space with
+// bounds, a specification list, a process-variation dimension, and an
+// evaluation function mapping (design, variation vector) to performances.
+package problem
+
+import (
+	"fmt"
+
+	"github.com/eda-go/moheco/internal/constraint"
+	"github.com/eda-go/moheco/internal/randx"
+)
+
+// Problem is a sizing problem under process variations.
+type Problem interface {
+	// Name identifies the problem in reports.
+	Name() string
+	// Dim is the number of design variables.
+	Dim() int
+	// Bounds returns the lower and upper design-variable bounds
+	// (slices of length Dim; callers must not modify them).
+	Bounds() (lo, hi []float64)
+	// Specs returns the specification list; Evaluate's output aligns to it.
+	Specs() []constraint.Spec
+	// VarDim is the dimension of the process-variation space.
+	VarDim() int
+	// Evaluate computes the performance vector of design x under the
+	// standard-normal variation vector xi. A nil xi means the nominal
+	// process. Implementations must be deterministic and safe for
+	// concurrent use. An error marks the sample as failed (for yield
+	// purposes) or the design as broken (for feasibility purposes).
+	Evaluate(x, xi []float64) ([]float64, error)
+}
+
+// CheckDesign validates x against the problem's bounds.
+func CheckDesign(p Problem, x []float64) error {
+	if len(x) != p.Dim() {
+		return fmt.Errorf("problem %s: design has %d variables, want %d", p.Name(), len(x), p.Dim())
+	}
+	lo, hi := p.Bounds()
+	for i, v := range x {
+		if v < lo[i] || v > hi[i] {
+			return fmt.Errorf("problem %s: x[%d]=%g outside [%g, %g]", p.Name(), i, v, lo[i], hi[i])
+		}
+	}
+	return nil
+}
+
+// Clamp returns x with every coordinate clipped into the problem's bounds.
+func Clamp(p Problem, x []float64) []float64 {
+	lo, hi := p.Bounds()
+	out := make([]float64, len(x))
+	for i, v := range x {
+		switch {
+		case v < lo[i]:
+			out[i] = lo[i]
+		case v > hi[i]:
+			out[i] = hi[i]
+		default:
+			out[i] = v
+		}
+	}
+	return out
+}
+
+// RandomDesign draws a uniform random design inside the bounds.
+func RandomDesign(p Problem, rng *randx.Stream) []float64 {
+	lo, hi := p.Bounds()
+	x := make([]float64, p.Dim())
+	for i := range x {
+		x[i] = lo[i] + rng.Float64()*(hi[i]-lo[i])
+	}
+	return x
+}
+
+// NominalFitness evaluates the design at the nominal process point and
+// reduces it to a constraint fitness (Feasible + Violation). The yield field
+// is left zero; estimators fill it for feasible candidates.
+func NominalFitness(p Problem, x []float64) (constraint.Fitness, []float64, error) {
+	perf, err := p.Evaluate(x, nil)
+	if err != nil {
+		// A broken nominal evaluation is maximally infeasible.
+		return constraint.Fitness{Feasible: false, Violation: 1e9}, nil, err
+	}
+	specs := p.Specs()
+	if constraint.AllSatisfied(specs, perf) {
+		return constraint.Fitness{Feasible: true}, perf, nil
+	}
+	return constraint.Fitness{Feasible: false, Violation: constraint.TotalViolation(specs, perf)}, perf, nil
+}
+
+// PassFail reduces one variation sample to the paper's indicator
+// J(x, ξ) ∈ {0, 1}: 1 when every spec is met.
+func PassFail(p Problem, x, xi []float64) (bool, error) {
+	perf, err := p.Evaluate(x, xi)
+	if err != nil {
+		return false, err
+	}
+	return constraint.AllSatisfied(p.Specs(), perf), nil
+}

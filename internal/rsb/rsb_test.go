@@ -1,0 +1,107 @@
+package rsb
+
+import (
+	"math"
+	"testing"
+
+	"github.com/eda-go/moheco/internal/constraint"
+	"github.com/eda-go/moheco/internal/core"
+	"github.com/eda-go/moheco/internal/randx"
+)
+
+// quadProblem is a synthetic problem whose "yield" is a smooth quadratic of
+// the design variables, so the NN has a fair chance in-distribution.
+type quadProblem struct{}
+
+func (quadProblem) Name() string { return "quad" }
+func (quadProblem) Dim() int     { return 3 }
+func (quadProblem) Bounds() ([]float64, []float64) {
+	return []float64{-1, -1, -1}, []float64{1, 1, 1}
+}
+func (quadProblem) Specs() []constraint.Spec {
+	return []constraint.Spec{{Name: "y", Sense: constraint.AtLeast, Bound: 0}}
+}
+func (quadProblem) VarDim() int { return 1 }
+func (quadProblem) Evaluate(x, xi []float64) ([]float64, error) {
+	return []float64{1}, nil
+}
+
+func yieldOf(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Exp(-s)
+}
+
+// synthHistory builds a fake optimization history with noiseless labels.
+func synthHistory(gens, perGen int, seed uint64) []core.GenRecord {
+	rng := randx.New(seed)
+	hist := make([]core.GenRecord, gens)
+	for g := range hist {
+		rec := core.GenRecord{Gen: g + 1}
+		for i := 0; i < perGen; i++ {
+			x := []float64{rng.Float64()*2 - 1, rng.Float64()*2 - 1, rng.Float64()*2 - 1}
+			rec.Designs = append(rec.Designs, x)
+			rec.Yields = append(rec.Yields, yieldOf(x))
+			rec.SampleCounts = append(rec.SampleCounts, 100)
+			rec.SimCounts = append(rec.SimCounts, 70)
+		}
+		hist[g] = rec
+	}
+	return hist
+}
+
+func TestRunOnSyntheticHistory(t *testing.T) {
+	hist := synthHistory(12, 20, 5)
+	res, err := Run(quadProblem{}, hist, 10, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Checkpoints) == 0 {
+		t.Fatal("no checkpoints")
+	}
+	if res.TotalPoints != 12*20 {
+		t.Errorf("total points = %d", res.TotalPoints)
+	}
+	last := res.Checkpoints[len(res.Checkpoints)-1]
+	if last.TrainPoints < 200 {
+		t.Errorf("final checkpoint trained on %d points", last.TrainPoints)
+	}
+	// With noiseless smooth labels and plenty of data, the NN should be
+	// reasonably accurate in-distribution.
+	if res.FinalRMS > 0.12 {
+		t.Errorf("final RMS %v too high for a smooth noiseless target", res.FinalRMS)
+	}
+	for _, c := range res.Checkpoints {
+		if c.RMS < 0 || c.TrainRMS < 0 {
+			t.Errorf("negative RMS: %+v", c)
+		}
+	}
+}
+
+func TestRunRequiresData(t *testing.T) {
+	if _, err := Run(quadProblem{}, nil, 10, 1, 1); err == nil {
+		t.Error("empty history accepted")
+	}
+	hist := synthHistory(1, 5, 2)
+	if _, err := Run(quadProblem{}, hist, 10, 1, 1); err == nil {
+		t.Error("single-generation history accepted")
+	}
+}
+
+func TestCheckpointThinning(t *testing.T) {
+	hist := synthHistory(13, 12, 9)
+	every1, err := Run(quadProblem{}, hist, 8, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	every4, err := Run(quadProblem{}, hist, 8, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(every4.Checkpoints) >= len(every1.Checkpoints) {
+		t.Errorf("thinning did not reduce checkpoints: %d vs %d",
+			len(every4.Checkpoints), len(every1.Checkpoints))
+	}
+}

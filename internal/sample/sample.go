@@ -1,0 +1,99 @@
+// Package sample generates the Monte-Carlo sample plans used for yield
+// estimation: primitive Monte Carlo (PMC) and Latin hypercube sampling (LHS,
+// Stein 1987), both over the standard-normal space N(0, I)^dim in which the
+// process-variation model is expressed.
+//
+// The paper uses LHS as a drop-in replacement for PMC within every compared
+// method; a Sampler here is likewise a plug-in of the yield estimator.
+package sample
+
+import (
+	"fmt"
+
+	"github.com/eda-go/moheco/internal/randx"
+)
+
+// Sampler draws n points from N(0, I)^dim.
+type Sampler interface {
+	// Draw appends n fresh dim-dimensional standard-normal vectors.
+	// Implementations must be deterministic given their stream.
+	Draw(rng *randx.Stream, n, dim int) [][]float64
+	// Name identifies the plan ("PMC", "LHS") in experiment reports.
+	Name() string
+}
+
+// PMC is primitive Monte Carlo: independent N(0,1) draws per coordinate.
+type PMC struct{}
+
+// Name implements Sampler.
+func (PMC) Name() string { return "PMC" }
+
+// Draw implements Sampler.
+func (PMC) Draw(rng *randx.Stream, n, dim int) [][]float64 {
+	if n < 0 || dim < 0 {
+		panic(fmt.Sprintf("sample: invalid plan %dx%d", n, dim))
+	}
+	out := make([][]float64, n)
+	flat := make([]float64, n*dim)
+	for i := range out {
+		row := flat[i*dim : (i+1)*dim]
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// LHS is Latin hypercube sampling: each of the n strata of every coordinate
+// is hit exactly once, with independent random permutations per coordinate
+// and uniform jitter within each stratum, mapped through the normal quantile.
+// LHS reduces the variance of the yield estimator versus PMC at equal n.
+type LHS struct{}
+
+// Name implements Sampler.
+func (LHS) Name() string { return "LHS" }
+
+// Draw implements Sampler.
+func (LHS) Draw(rng *randx.Stream, n, dim int) [][]float64 {
+	if n < 0 || dim < 0 {
+		panic(fmt.Sprintf("sample: invalid plan %dx%d", n, dim))
+	}
+	out := make([][]float64, n)
+	flat := make([]float64, n*dim)
+	for i := range out {
+		out[i] = flat[i*dim : (i+1)*dim]
+	}
+	if n == 0 {
+		return out
+	}
+	for j := 0; j < dim; j++ {
+		perm := rng.Perm(n)
+		for i := 0; i < n; i++ {
+			// Stratum perm[i] of [0,1), jittered, through Φ⁻¹.
+			u := (float64(perm[i]) + rng.Float64()) / float64(n)
+			if u <= 0 {
+				u = 0.5 / float64(n)
+			}
+			if u >= 1 {
+				u = 1 - 0.5/float64(n)
+			}
+			out[i][j] = randx.NormQuantile(u)
+		}
+	}
+	return out
+}
+
+// ByName returns the sampler registered under name ("PMC", "LHS" or "Halton").
+func ByName(name string) (Sampler, error) {
+	switch name {
+	case "PMC", "pmc":
+		return PMC{}, nil
+	case "LHS", "lhs":
+		return LHS{}, nil
+	case "Halton", "halton":
+		return Halton{}, nil
+	default:
+		return nil, fmt.Errorf("sample: unknown sampler %q", name)
+	}
+}

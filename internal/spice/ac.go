@@ -1,0 +1,166 @@
+package spice
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/eda-go/moheco/internal/linalg"
+	"github.com/eda-go/moheco/internal/netlist"
+)
+
+// ACResult holds the small-signal node phasors across a frequency sweep.
+type ACResult struct {
+	Freqs []float64
+	// V[k][node] is the phasor of the node at Freqs[k], indexed by netlist
+	// node id (ground = 0).
+	V [][]complex128
+}
+
+// VNode returns the phasor sweep of the named node.
+func (r *ACResult) VNode(c *netlist.Circuit, name string) ([]complex128, error) {
+	i, ok := c.FindNode(name)
+	if !ok {
+		return nil, fmt.Errorf("spice: unknown node %q", name)
+	}
+	out := make([]complex128, len(r.Freqs))
+	for k := range r.Freqs {
+		out[k] = r.V[k][i]
+	}
+	return out, nil
+}
+
+// LogSpace returns points per decade log-spaced frequencies in [fStart, fStop].
+func LogSpace(fStart, fStop float64, perDecade int) []float64 {
+	if fStart <= 0 || fStop <= fStart || perDecade < 1 {
+		return nil
+	}
+	var out []float64
+	step := math.Pow(10, 1/float64(perDecade))
+	for f := fStart; f <= fStop*1.0000001; f *= step {
+		out = append(out, f)
+	}
+	return out
+}
+
+// AC performs a small-signal sweep at the operating point op. MOSFETs are
+// linearized with gm, gds, gmb and their capacitances; capacitors become
+// jωC; AC sources drive the system.
+func (e *Engine) AC(op *OPResult, freqs []float64) (*ACResult, error) {
+	n := e.size
+	res := &ACResult{Freqs: freqs, V: make([][]complex128, len(freqs))}
+	Y := linalg.NewCMatrix(n, n)
+	rhs := make([]complex128, n)
+
+	for k, f := range freqs {
+		omega := 2 * math.Pi * f
+		Y.Zero()
+		for i := range rhs {
+			rhs[i] = 0
+		}
+		e.stampAC(Y, rhs, op, omega)
+		x, err := linalg.CSolve(Y, rhs)
+		if err != nil {
+			return nil, fmt.Errorf("spice: AC solve at %g Hz: %w", f, err)
+		}
+		vk := make([]complex128, e.ckt.NumNodes())
+		for i := 1; i < e.ckt.NumNodes(); i++ {
+			vk[i] = x[row(i)]
+		}
+		res.V[k] = vk
+	}
+	return res, nil
+}
+
+// stampAC fills the complex MNA matrix at angular frequency omega.
+func (e *Engine) stampAC(Y *linalg.CMatrix, rhs []complex128, op *OPResult, omega float64) {
+	addY := func(r, c int, y complex128) {
+		if r >= 0 && c >= 0 {
+			Y.Add(r, c, y)
+		}
+	}
+	stampAdmittance := func(n1, n2 int, y complex128) {
+		r1, r2 := row(n1), row(n2)
+		addY(r1, r1, y)
+		addY(r2, r2, y)
+		addY(r1, r2, -y)
+		addY(r2, r1, -y)
+	}
+	stampGm := func(out1, out2, cp, cn int, gm float64) {
+		// Current gm·(v(cp)-v(cn)) flows out of node out1 into out2.
+		addY(row(out1), row(cp), complex(gm, 0))
+		addY(row(out1), row(cn), complex(-gm, 0))
+		addY(row(out2), row(cp), complex(-gm, 0))
+		addY(row(out2), row(cn), complex(gm, 0))
+	}
+	// Tiny conductance to ground keeps floating nodes solvable.
+	for i := 0; i < e.nNodes; i++ {
+		Y.Add(i, i, complex(e.opts.GminFinal, 0))
+	}
+
+	branchIdx := 0
+	for _, d := range e.ckt.Devices {
+		switch t := d.(type) {
+		case *netlist.Resistor:
+			stampAdmittance(t.N1, t.N2, complex(1/t.R, 0))
+		case *netlist.Capacitor:
+			stampAdmittance(t.N1, t.N2, complex(0, omega*t.C))
+		case *netlist.ISource:
+			if t.ACMag != 0 {
+				// AC current NP -> NN through source.
+				if r := row(t.NP); r >= 0 {
+					rhs[r] -= complex(t.ACMag, 0)
+				}
+				if r := row(t.NN); r >= 0 {
+					rhs[r] += complex(t.ACMag, 0)
+				}
+			}
+		case *netlist.VCCS:
+			stampGm(t.NP, t.NN, t.NCP, t.NCN, t.Gm)
+		case *netlist.VSource:
+			bi := e.nNodes + branchIdx
+			addY(row(t.NP), bi, 1)
+			addY(row(t.NN), bi, -1)
+			addY(bi, row(t.NP), 1)
+			addY(bi, row(t.NN), -1)
+			rhs[bi] = complex(t.ACMag, 0)
+			branchIdx++
+		case *netlist.VCVS:
+			bi := e.nNodes + branchIdx
+			addY(row(t.NP), bi, 1)
+			addY(row(t.NN), bi, -1)
+			addY(bi, row(t.NP), 1)
+			addY(bi, row(t.NN), -1)
+			addY(bi, row(t.NCP), complex(-t.Gain, 0))
+			addY(bi, row(t.NCN), complex(t.Gain, 0))
+			branchIdx++
+		case *netlist.Mosfet:
+			mop, swapped := evalMosfetAtOP(t, op)
+			dN, gN, sN, bN := t.D, t.G, t.S, t.B
+			if swapped {
+				dN, sN = sN, dN
+			}
+			// Transconductances: i_d = gm·vgs + gmb·vbs (identical stamp for
+			// NMOS and PMOS in the circuit frame).
+			stampGm(dN, sN, gN, sN, mop.Gm)
+			stampGm(dN, sN, bN, sN, mop.Gmb)
+			stampAdmittance(dN, sN, complex(mop.Gds, 0))
+			stampAdmittance(gN, sN, complex(0, omega*mop.Cgs))
+			stampAdmittance(gN, dN, complex(0, omega*mop.Cgd))
+			stampAdmittance(dN, bN, complex(0, omega*mop.Cdb))
+			stampAdmittance(sN, bN, complex(0, omega*mop.Csb))
+		}
+	}
+}
+
+// evalMosfetAtOP re-derives the device linearization from the stored DC
+// solution (including the drain/source orientation used there).
+func evalMosfetAtOP(m *netlist.Mosfet, op *OPResult) (mosOP, bool) {
+	o, swapped := evalMosfet(m, op.V)
+	return mosOP{Gm: o.Gm, Gds: o.Gds, Gmb: o.Gmb, Cgs: o.Cgs, Cgd: o.Cgd, Cdb: o.Cdb, Csb: o.Csb}, swapped
+}
+
+// mosOP is the subset of the device operating point the AC stamps need.
+type mosOP struct {
+	Gm, Gds, Gmb       float64
+	Cgs, Cgd, Cdb, Csb float64
+}

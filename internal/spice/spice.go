@@ -1,0 +1,457 @@
+// Package spice is a small modified-nodal-analysis (MNA) circuit simulator:
+// DC operating point by damped Newton–Raphson with gmin and source stepping,
+// and small-signal AC analysis by complex-valued MNA at the linearized
+// operating point. It stands in for the HSPICE evaluator of the paper's flow
+// (see DESIGN.md) and cross-checks the behavioural amplifier models.
+package spice
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"os"
+
+	"github.com/eda-go/moheco/internal/linalg"
+	"github.com/eda-go/moheco/internal/mos"
+	"github.com/eda-go/moheco/internal/netlist"
+)
+
+// debugSpice enables per-iteration Newton traces via MOHECO_SPICE_DEBUG=1.
+var debugSpice = os.Getenv("MOHECO_SPICE_DEBUG") == "1"
+
+// ErrNoConvergence reports that the DC solver could not find an operating
+// point. The yield machinery treats this as a failed sample, mirroring how a
+// real MC flow handles SPICE convergence failures.
+var ErrNoConvergence = errors.New("spice: DC analysis did not converge")
+
+// Options tunes the solver.
+type Options struct {
+	MaxIter   int     // Newton iterations per gmin step (default 150)
+	AbsTol    float64 // voltage convergence tolerance (default 1e-9 V)
+	RelTol    float64 // relative tolerance (default 1e-6)
+	GminStart float64 // initial gmin for stepping (default 1e-3 S)
+	GminFinal float64 // final gmin left in the matrix (default 1e-12 S)
+	MaxStep   float64 // Newton step damping limit per node (default 0.5 V)
+	// Nodeset seeds the DC solve with initial node voltages (by node name),
+	// the classic .nodeset escape hatch for circuits with high-gain
+	// feedback loops.
+	Nodeset map[string]float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIter == 0 {
+		o.MaxIter = 150
+	}
+	if o.AbsTol == 0 {
+		o.AbsTol = 1e-9
+	}
+	if o.RelTol == 0 {
+		o.RelTol = 1e-6
+	}
+	if o.GminStart == 0 {
+		o.GminStart = 1e-3
+	}
+	if o.GminFinal == 0 {
+		o.GminFinal = 1e-12
+	}
+	if o.MaxStep == 0 {
+		o.MaxStep = 0.5
+	}
+	return o
+}
+
+// Engine simulates one circuit.
+type Engine struct {
+	ckt  *netlist.Circuit
+	opts Options
+
+	nNodes   int // unknown node voltages (excluding ground)
+	branches []branch
+	size     int // nNodes + len(branches)
+}
+
+// branch is an extra MNA current unknown (V and E elements).
+type branch struct {
+	dev netlist.Device
+}
+
+// New builds an engine for the circuit.
+func New(ckt *netlist.Circuit, opts Options) (*Engine, error) {
+	if err := ckt.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{ckt: ckt, opts: opts.withDefaults(), nNodes: ckt.NumNodes() - 1}
+	for _, d := range ckt.Devices {
+		switch d.(type) {
+		case *netlist.VSource, *netlist.VCVS:
+			e.branches = append(e.branches, branch{dev: d})
+		}
+	}
+	e.size = e.nNodes + len(e.branches)
+	return e, nil
+}
+
+// row maps a node index to its MNA row, or -1 for ground.
+func row(node int) int { return node - 1 }
+
+// OPResult is a DC operating point.
+type OPResult struct {
+	// V holds node voltages indexed by netlist node index (V[0] = 0).
+	V []float64
+	// BranchI holds the currents of V/E elements in branch order.
+	BranchI []float64
+	// MOS holds each transistor's operating point, keyed by instance name.
+	MOS map[string]mos.OP
+	// Iterations counts total Newton iterations used.
+	Iterations int
+}
+
+// VNode returns the voltage at the named node.
+func (r *OPResult) VNode(c *netlist.Circuit, name string) (float64, error) {
+	i, ok := c.FindNode(name)
+	if !ok {
+		return 0, fmt.Errorf("spice: unknown node %q", name)
+	}
+	return r.V[i], nil
+}
+
+// DCOperatingPoint solves the nonlinear DC equations. It first attempts a
+// plain Newton solve with gmin stepping; if that fails, it retries with
+// source stepping.
+func (e *Engine) DCOperatingPoint() (*OPResult, error) {
+	x := make([]float64, e.size)
+	seed := func() {
+		for i := range x {
+			x[i] = 0
+		}
+		// Ground-referenced voltage sources pin their node trivially;
+		// seeding them makes cold starts and nodesets effective.
+		for _, d := range e.ckt.Devices {
+			if v, ok := d.(*netlist.VSource); ok {
+				switch {
+				case v.NN == netlist.Ground && v.NP != netlist.Ground:
+					x[row(v.NP)] = v.DC
+				case v.NP == netlist.Ground && v.NN != netlist.Ground:
+					x[row(v.NN)] = -v.DC
+				}
+			}
+		}
+		for name, v := range e.opts.Nodeset {
+			if n, ok := e.ckt.FindNode(name); ok && n != netlist.Ground {
+				x[row(n)] = v
+			}
+		}
+	}
+	seed()
+	iters := 0
+
+	solveAt := func(srcScale float64) error {
+		gmin := e.opts.GminStart
+		for {
+			n, err := e.newton(x, stampCtx{gmin: gmin, srcScale: srcScale, time: -1})
+			iters += n
+			if err != nil {
+				return err
+			}
+			if gmin <= e.opts.GminFinal {
+				return nil
+			}
+			gmin /= 100
+			if gmin < e.opts.GminFinal {
+				gmin = e.opts.GminFinal
+			}
+		}
+	}
+
+	var err error
+	if len(e.opts.Nodeset) > 0 {
+		// With a nodeset the seed should already be near the solution;
+		// gmin stepping would first drag the iterate toward the heavily
+		// damped system's solution and out of the basin. Try a direct
+		// solve first.
+		n, derr := e.newton(x, stampCtx{gmin: e.opts.GminFinal, srcScale: 1, time: -1})
+		iters += n
+		err = derr
+		if err != nil {
+			seed()
+		}
+	} else {
+		err = ErrNoConvergence
+	}
+	if err != nil {
+		err = solveAt(1)
+	}
+	if err != nil {
+		// Source stepping: ramp sources from 10% to 100%.
+		seed()
+		err = nil
+		for _, s := range []float64{0.1, 0.25, 0.5, 0.75, 1.0} {
+			if err = solveAt(s); err != nil {
+				break
+			}
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	res := &OPResult{
+		V:          make([]float64, e.ckt.NumNodes()),
+		BranchI:    make([]float64, len(e.branches)),
+		MOS:        map[string]mos.OP{},
+		Iterations: iters,
+	}
+	for i := 1; i < e.ckt.NumNodes(); i++ {
+		res.V[i] = x[row(i)+0]
+	}
+	for i := range e.branches {
+		res.BranchI[i] = x[e.nNodes+i]
+	}
+	for _, d := range e.ckt.Devices {
+		if m, ok := d.(*netlist.Mosfet); ok {
+			op, _ := evalMosfet(m, res.V)
+			res.MOS[m.Name] = op
+		}
+	}
+	return res, nil
+}
+
+// stampCtx carries the analysis context: gmin damping, source scaling
+// (for source stepping) and, for transient steps, the time point, timestep
+// and previous node voltages (backward-Euler companion models).
+type stampCtx struct {
+	gmin     float64
+	srcScale float64
+	time     float64   // < 0 for DC
+	h        float64   // 0 for DC
+	vPrev    []float64 // previous node voltages by node id (transient only)
+}
+
+// newton iterates x toward F(x)=0 under the given stamping context.
+func (e *Engine) newton(x []float64, ctx stampCtx) (int, error) {
+	n := e.size
+	J := linalg.NewMatrix(n, n)
+	F := make([]float64, n)
+	for iter := 1; iter <= e.opts.MaxIter; iter++ {
+		J.Zero()
+		for i := range F {
+			F[i] = 0
+		}
+		e.stamp(J, F, x, ctx)
+
+		// Solve J·dx = -F.
+		rhs := make([]float64, n)
+		for i := range F {
+			rhs[i] = -F[i]
+		}
+		dx, err := linalg.SolveSystem(J, rhs)
+		if err != nil {
+			return iter, fmt.Errorf("%w: singular Jacobian", ErrNoConvergence)
+		}
+		// Damping: clamp each node-voltage update independently so one
+		// runaway node (e.g. a current source into an off transistor)
+		// cannot stall progress everywhere else.
+		if debugSpice {
+			fmt.Printf("spice debug: gmin=%.1e iter=%d maxDV=%.3e |F|=%.3e\n",
+				ctx.gmin, iter, linalg.NormInf(dx[:e.nNodes]), linalg.NormInf(F))
+		}
+		done := true
+		clamped := false
+		for i := range x {
+			step := dx[i]
+			if i < e.nNodes && math.Abs(step) > e.opts.MaxStep {
+				step = math.Copysign(e.opts.MaxStep, step)
+				clamped = true
+			}
+			x[i] += step
+			if math.IsNaN(x[i]) || math.IsInf(x[i], 0) {
+				return iter, ErrNoConvergence
+			}
+		}
+		for i := 0; i < e.nNodes; i++ {
+			if math.Abs(dx[i]) > e.opts.AbsTol+e.opts.RelTol*math.Abs(x[i]) {
+				done = false
+				break
+			}
+		}
+		if done && !clamped {
+			return iter, nil
+		}
+	}
+	return e.opts.MaxIter, ErrNoConvergence
+}
+
+// stamp builds the Jacobian and residual at x. F is the KCL residual per
+// node row plus the branch equations; J is ∂F/∂x.
+func (e *Engine) stamp(J *linalg.Matrix, F []float64, x []float64, ctx stampCtx) {
+	v := func(node int) float64 {
+		if node == netlist.Ground {
+			return 0
+		}
+		return x[row(node)]
+	}
+	addJ := func(r, c int, g float64) {
+		if r >= 0 && c >= 0 {
+			J.Add(r, c, g)
+		}
+	}
+	addF := func(r int, val float64) {
+		if r >= 0 {
+			F[r] += val
+		}
+	}
+	// gmin from every non-ground node to ground.
+	for i := 0; i < e.nNodes; i++ {
+		J.Add(i, i, ctx.gmin)
+		F[i] += ctx.gmin * x[i]
+	}
+
+	branchIdx := 0
+	for _, d := range e.ckt.Devices {
+		switch t := d.(type) {
+		case *netlist.Resistor:
+			g := 1 / t.R
+			r1, r2 := row(t.N1), row(t.N2)
+			dv := v(t.N1) - v(t.N2)
+			addF(r1, g*dv)
+			addF(r2, -g*dv)
+			addJ(r1, r1, g)
+			addJ(r2, r2, g)
+			addJ(r1, r2, -g)
+			addJ(r2, r1, -g)
+		case *netlist.Capacitor:
+			// Open in DC; backward-Euler companion in transient.
+			if ctx.h > 0 {
+				g := t.C / ctx.h
+				r1, r2 := row(t.N1), row(t.N2)
+				dv := v(t.N1) - v(t.N2)
+				dvPrev := ctx.vPrev[t.N1] - ctx.vPrev[t.N2]
+				i := g * (dv - dvPrev)
+				addF(r1, i)
+				addF(r2, -i)
+				addJ(r1, r1, g)
+				addJ(r2, r2, g)
+				addJ(r1, r2, -g)
+				addJ(r2, r1, -g)
+			}
+		case *netlist.ISource:
+			// Current flows NP -> NN through the source: leaves NN, enters NP
+			// externally; KCL residual: current leaving node.
+			val := ctx.srcScale * t.SourceValue(ctx.time)
+			addF(row(t.NP), val)
+			addF(row(t.NN), -val)
+		case *netlist.VCCS:
+			gm := t.Gm
+			vc := v(t.NCP) - v(t.NCN)
+			addF(row(t.NP), gm*vc)
+			addF(row(t.NN), -gm*vc)
+			addJ(row(t.NP), row(t.NCP), gm)
+			addJ(row(t.NP), row(t.NCN), -gm)
+			addJ(row(t.NN), row(t.NCP), -gm)
+			addJ(row(t.NN), row(t.NCN), gm)
+		case *netlist.VSource:
+			bi := e.nNodes + branchIdx
+			i := x[bi]
+			addF(row(t.NP), i)
+			addF(row(t.NN), -i)
+			addJ(row(t.NP), bi, 1)
+			addJ(row(t.NN), bi, -1)
+			// Branch equation: v(NP) - v(NN) - V = 0.
+			F[bi] += v(t.NP) - v(t.NN) - ctx.srcScale*t.SourceValue(ctx.time)
+			addJ(bi, row(t.NP), 1)
+			addJ(bi, row(t.NN), -1)
+			branchIdx++
+		case *netlist.VCVS:
+			bi := e.nNodes + branchIdx
+			i := x[bi]
+			addF(row(t.NP), i)
+			addF(row(t.NN), -i)
+			addJ(row(t.NP), bi, 1)
+			addJ(row(t.NN), bi, -1)
+			// v(NP) - v(NN) - gain·(v(NCP)-v(NCN)) = 0.
+			F[bi] += v(t.NP) - v(t.NN) - t.Gain*(v(t.NCP)-v(t.NCN))
+			addJ(bi, row(t.NP), 1)
+			addJ(bi, row(t.NN), -1)
+			addJ(bi, row(t.NCP), -t.Gain)
+			addJ(bi, row(t.NCN), t.Gain)
+			branchIdx++
+		case *netlist.Mosfet:
+			e.stampMosfet(J, F, x, t)
+		}
+	}
+}
+
+// evalMosfet computes the operating point of m given node voltages V
+// (indexed by netlist node id), handling polarity and source/drain swap.
+// swapped reports whether drain and source were exchanged.
+func evalMosfet(m *netlist.Mosfet, V []float64) (op mos.OP, swapped bool) {
+	vd, vg, vs, vb := V[m.D], V[m.G], V[m.S], V[m.B]
+	if m.Dev.Params.PMOS {
+		// Magnitude frame: vgs = vSG, vds = vSD, vbs = vSB.
+		if vs-vd < 0 {
+			vd, vs = vs, vd
+			swapped = true
+		}
+		op = m.Dev.Evaluate(vs-vg, vs-vd, vs-vb)
+	} else {
+		if vd-vs < 0 {
+			vd, vs = vs, vd
+			swapped = true
+		}
+		op = m.Dev.Evaluate(vg-vs, vd-vs, vb-vs)
+	}
+	return op, swapped
+}
+
+// stampMosfet adds the companion model of one MOSFET.
+func (e *Engine) stampMosfet(J *linalg.Matrix, F []float64, x []float64, m *netlist.Mosfet) {
+	V := make([]float64, e.ckt.NumNodes())
+	for i := 1; i < len(V); i++ {
+		V[i] = x[row(i)]
+	}
+	op, swapped := evalMosfet(m, V)
+	d, g, s, b := m.D, m.G, m.S, m.B
+	if swapped {
+		d, s = s, d
+	}
+	rd, rg, rs, rb := row(d), row(g), row(s), row(b)
+
+	addJ := func(r, c int, val float64) {
+		if r >= 0 && c >= 0 {
+			J.Add(r, c, val)
+		}
+	}
+	addF := func(r int, val float64) {
+		if r >= 0 {
+			F[r] += val
+		}
+	}
+
+	if !m.Dev.Params.PMOS {
+		// NMOS: ID flows d -> s; leaves node d.
+		addF(rd, op.ID)
+		addF(rs, -op.ID)
+		// ∂ID/∂(vg,vd,vb,vs).
+		addJ(rd, rg, op.Gm)
+		addJ(rd, rd, op.Gds)
+		addJ(rd, rb, op.Gmb)
+		addJ(rd, rs, -(op.Gm + op.Gds + op.Gmb))
+		addJ(rs, rg, -op.Gm)
+		addJ(rs, rd, -op.Gds)
+		addJ(rs, rb, -op.Gmb)
+		addJ(rs, rs, op.Gm+op.Gds+op.Gmb)
+	} else {
+		// PMOS: ID flows s -> d; leaves node s.
+		// ID = f(vsg, vsd, vsb): ∂ID/∂vs = gm+gds+gmb, ∂/∂vg = -gm, etc.
+		addF(rs, op.ID)
+		addF(rd, -op.ID)
+		addJ(rs, rs, op.Gm+op.Gds+op.Gmb)
+		addJ(rs, rg, -op.Gm)
+		addJ(rs, rd, -op.Gds)
+		addJ(rs, rb, -op.Gmb)
+		addJ(rd, rs, -(op.Gm + op.Gds + op.Gmb))
+		addJ(rd, rg, op.Gm)
+		addJ(rd, rd, op.Gds)
+		addJ(rd, rb, op.Gmb)
+	}
+}

@@ -1,0 +1,132 @@
+package spice
+
+import (
+	"fmt"
+
+	"github.com/eda-go/moheco/internal/netlist"
+)
+
+// TranResult holds a transient analysis: node voltages over time.
+type TranResult struct {
+	Times []float64
+	// V[k][node] is the voltage of the node at Times[k], indexed by
+	// netlist node id.
+	V [][]float64
+}
+
+// VNode returns the waveform of the named node.
+func (r *TranResult) VNode(c *netlist.Circuit, name string) ([]float64, error) {
+	i, ok := c.FindNode(name)
+	if !ok {
+		return nil, fmt.Errorf("spice: unknown node %q", name)
+	}
+	out := make([]float64, len(r.Times))
+	for k := range r.Times {
+		out[k] = r.V[k][i]
+	}
+	return out, nil
+}
+
+// Transient integrates the circuit from the DC operating point op over
+// [0, tStop] with fixed step h, using backward-Euler companion models for
+// the capacitors and a full Newton solve per time point. Sources with an
+// attached Pulse follow their waveform; others hold their DC value.
+func (e *Engine) Transient(op *OPResult, tStop, h float64) (*TranResult, error) {
+	if h <= 0 || tStop <= 0 || tStop < h {
+		return nil, fmt.Errorf("spice: invalid transient window tStop=%g h=%g", tStop, h)
+	}
+	steps := int(tStop/h + 0.5)
+	res := &TranResult{
+		Times: make([]float64, 0, steps+1),
+		V:     make([][]float64, 0, steps+1),
+	}
+
+	// State vector starts at the DC solution.
+	x := make([]float64, e.size)
+	for i := 1; i < e.ckt.NumNodes(); i++ {
+		x[row(i)] = op.V[i]
+	}
+	copy(x[e.nNodes:], op.BranchI)
+	vPrev := append([]float64(nil), op.V...)
+
+	record := func(t float64) {
+		vk := make([]float64, e.ckt.NumNodes())
+		for i := 1; i < e.ckt.NumNodes(); i++ {
+			vk[i] = x[row(i)]
+		}
+		res.Times = append(res.Times, t)
+		res.V = append(res.V, vk)
+	}
+	record(0)
+
+	for s := 1; s <= steps; s++ {
+		t := float64(s) * h
+		ctx := stampCtx{
+			gmin:     e.opts.GminFinal,
+			srcScale: 1,
+			time:     t,
+			h:        h,
+			vPrev:    vPrev,
+		}
+		if _, err := e.newton(x, ctx); err != nil {
+			return nil, fmt.Errorf("spice: transient step at t=%g: %w", t, err)
+		}
+		record(t)
+		for i := 1; i < e.ckt.NumNodes(); i++ {
+			vPrev[i] = x[row(i)]
+		}
+	}
+	return res, nil
+}
+
+// Settling returns the first time after which the waveform stays within
+// ±tol of its final value, and the overshoot relative to the total swing.
+// It returns ok=false when the waveform never settles inside the window.
+func Settling(times, wave []float64, tol float64) (tSettle, overshoot float64, ok bool) {
+	if len(wave) < 2 {
+		return 0, 0, false
+	}
+	final := wave[len(wave)-1]
+	start := wave[0]
+	swing := final - start
+	// Overshoot: max excursion beyond the final value, in the step
+	// direction, relative to the swing.
+	peak := 0.0
+	for _, v := range wave {
+		var over float64
+		if swing >= 0 {
+			over = v - final
+		} else {
+			over = final - v
+		}
+		if over > peak {
+			peak = over
+		}
+	}
+	if swing != 0 {
+		overshoot = peak / abs(swing)
+	}
+	// Last time the waveform is outside the band.
+	lastOutside := -1
+	for i, v := range wave {
+		if abs(v-final) > tol {
+			lastOutside = i
+		}
+	}
+	if lastOutside < 0 {
+		return times[0], overshoot, true
+	}
+	// Require at least two trailing in-band samples, so a waveform that
+	// merely passes through the band at the last point does not count.
+	if lastOutside >= len(wave)-2 {
+		return 0, overshoot, false
+	}
+	return times[lastOutside+1], overshoot, true
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

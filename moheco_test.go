@@ -1,0 +1,58 @@
+package moheco_test
+
+import (
+	"math"
+	"testing"
+
+	moheco "github.com/eda-go/moheco"
+)
+
+// The public facade must expose a working end-to-end flow.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	p := moheco.NewCommonSourceProblem()
+	opts := moheco.DefaultOptions(moheco.MethodMOHECO, 150)
+	opts.PopSize = 24
+	opts.MaxGenerations = 40
+	opts.Seed = 5
+	res, err := moheco.Optimize(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("no feasible design")
+	}
+	y, err := moheco.EstimateYield(p, res.BestX, 10000, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(y-res.BestYield) > 0.08 {
+		t.Errorf("reported %.3f vs reference %.3f", res.BestYield, y)
+	}
+}
+
+func TestProblemConstructors(t *testing.T) {
+	cases := []struct {
+		p      moheco.Problem
+		dim    int
+		varDim int
+	}{
+		{moheco.NewCommonSourceProblem(), 4, 32},
+		{moheco.NewFoldedCascodeProblem(), 10, 80},
+		{moheco.NewTelescopicProblem(), 12, 123},
+	}
+	for _, c := range cases {
+		if c.p.Dim() != c.dim {
+			t.Errorf("%s: Dim = %d, want %d", c.p.Name(), c.p.Dim(), c.dim)
+		}
+		if c.p.VarDim() != c.varDim {
+			t.Errorf("%s: VarDim = %d, want %d", c.p.Name(), c.p.VarDim(), c.varDim)
+		}
+	}
+}
+
+func TestSpecAliases(t *testing.T) {
+	s := moheco.Spec{Name: "A0", Sense: moheco.AtLeast, Bound: 70}
+	if !s.Satisfied(71) || s.Satisfied(69) {
+		t.Error("spec alias broken")
+	}
+}
