@@ -9,6 +9,7 @@ import (
 	"io"
 	"testing"
 
+	moheco "github.com/eda-go/moheco"
 	"github.com/eda-go/moheco/internal/exp"
 )
 
@@ -150,6 +151,76 @@ func BenchmarkPSWCD(b *testing.B) {
 		b.ReportMetric(100*res.OverDesign, "overdesign-%")
 	}
 }
+
+// benchEngineOptimize runs one fixed-seed optimization at the given worker
+// count; the sequential/parallel benchmark pairs below measure the
+// evaluation engine's speedup on the paper's two benchmark circuits (the
+// results themselves are identical by the determinism contract).
+func benchEngineOptimize(b *testing.B, p moheco.Problem, gens, workers int) {
+	b.Helper()
+	opts := moheco.DefaultOptions(moheco.MethodFixedBudget, 300)
+	opts.PopSize = 24
+	opts.MaxGenerations = gens
+	opts.Seed = 11
+	opts.Workers = workers
+	for i := 0; i < b.N; i++ {
+		res, err := moheco.Optimize(p, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.TotalSims), "sims")
+	}
+}
+
+// BenchmarkEngineFoldedCascodeSequential is the Workers=1 baseline on the
+// paper's example 1; compare against BenchmarkEngineFoldedCascodeParallel
+// for the engine speedup (requires GOMAXPROCS > 1).
+func BenchmarkEngineFoldedCascodeSequential(b *testing.B) {
+	benchEngineOptimize(b, moheco.NewFoldedCascodeProblem(), 30, 1)
+}
+
+// BenchmarkEngineFoldedCascodeParallel runs the identical workload on the
+// full worker pool.
+func BenchmarkEngineFoldedCascodeParallel(b *testing.B) {
+	benchEngineOptimize(b, moheco.NewFoldedCascodeProblem(), 30, 0)
+}
+
+// BenchmarkEngineTelescopicSequential is the Workers=1 baseline on the
+// paper's example 2 (123 variation variables; the heavier evaluation).
+// The higher generation cap carries the run well past the point the
+// population turns feasible, so yield estimation dominates.
+func BenchmarkEngineTelescopicSequential(b *testing.B) {
+	benchEngineOptimize(b, moheco.NewTelescopicProblem(), 60, 1)
+}
+
+// BenchmarkEngineTelescopicParallel runs the identical workload on the full
+// worker pool.
+func BenchmarkEngineTelescopicParallel(b *testing.B) {
+	benchEngineOptimize(b, moheco.NewTelescopicProblem(), 60, 0)
+}
+
+// benchEngineReference measures the deterministically-chunked reference
+// estimator at the given worker count.
+func benchEngineReference(b *testing.B, workers int) {
+	b.Helper()
+	p := moheco.NewFoldedCascodeProblem()
+	x := p.ReferenceDesign()
+	for i := 0; i < b.N; i++ {
+		y, err := moheco.EstimateYieldWorkers(p, x, 20000, 7, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*y, "yield-%")
+	}
+}
+
+// BenchmarkEngineReferenceSequential is the Workers=1 baseline for the
+// 20k-sample reference estimate.
+func BenchmarkEngineReferenceSequential(b *testing.B) { benchEngineReference(b, 1) }
+
+// BenchmarkEngineReferenceParallel runs the identical estimate on the full
+// worker pool; the returned yield is bit-identical to the sequential run.
+func BenchmarkEngineReferenceParallel(b *testing.B) { benchEngineReference(b, 0) }
 
 // BenchmarkAblation runs the design-choice ablation study: MOHECO with the
 // sampler, acceptance sampling, memetic operator and promotion threshold

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	mohecorun [-problem NAME] [-method NAME] [-maxsims N] [-seed S]
-//	          [-maxgens N] [-ref N] [-trace]
+//	          [-maxgens N] [-ref N] [-workers N] [-trace]
 //
 // Problems: foldedcascode (paper example 1), telescopic (example 2),
 // commonsource (quickstart). Methods: moheco, oo, fixed.
@@ -29,6 +29,7 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "random seed")
 		maxGens  = flag.Int("maxgens", 300, "generation cap")
 		refN     = flag.Int("ref", 50000, "reference MC samples for the final check (0 to skip)")
+		workers  = flag.Int("workers", 0, "evaluation worker goroutines (0 = GOMAXPROCS, 1 = sequential; results are identical)")
 		trace    = flag.Bool("trace", false, "print per-generation progress")
 	)
 	flag.Parse()
@@ -59,6 +60,7 @@ func main() {
 	opts := moheco.DefaultOptions(m, *maxSims)
 	opts.Seed = *seed
 	opts.MaxGenerations = *maxGens
+	opts.Workers = *workers
 	if *fixed > 0 {
 		opts.FixedSims = *fixed
 	}
@@ -98,7 +100,7 @@ func main() {
 		}
 	}
 	if *refN > 0 {
-		ref, err := moheco.EstimateYield(p, res.BestX, *refN, *seed+777)
+		ref, err := moheco.EstimateYieldWorkers(p, res.BestX, *refN, *seed+777, *workers)
 		if err != nil {
 			fatal(err)
 		}

@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	paperbench [-full] [-quick] [-runs N] [-ref N] [-seed S] [-only LIST] [-v]
+//	paperbench [-full] [-quick] [-runs N] [-ref N] [-seed S] [-workers N]
+//	           [-only LIST] [-v]
 //
 // By default it runs the full paper-scale configuration (10 runs per
 // method, 50,000-sample references). -quick switches to the reduced
@@ -29,6 +30,7 @@ func main() {
 		runs   = flag.Int("runs", 0, "override the number of runs per method")
 		refN   = flag.Int("ref", 0, "override the reference sample count")
 		seed   = flag.Uint64("seed", 0, "override the experiment seed")
+		work   = flag.Int("workers", 0, "evaluation worker goroutines (0 = GOMAXPROCS, 1 = sequential; results are identical)")
 		only   = flag.String("only", "", "comma-separated subset: table12,table34,fig3,fig6,rsb,pswcd,ablation")
 		verb   = flag.Bool("v", false, "print per-run progress")
 		csvDir = flag.String("csv", "", "also write per-run CSV files into this directory")
@@ -48,6 +50,7 @@ func main() {
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
+	cfg.Workers = *work
 	if *verb {
 		cfg.Progress = os.Stderr
 	}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	yieldest -problem foldedcascode -n 50000 [-seed S] [-x "v1,v2,..."]
+//	yieldest -problem foldedcascode -n 50000 [-seed S] [-workers N] [-x "v1,v2,..."]
 //
 // Without -x, the problem's built-in reference design is analyzed.
 package main
@@ -32,6 +32,7 @@ func main() {
 		probName = flag.String("problem", "foldedcascode", "foldedcascode | telescopic | commonsource")
 		n        = flag.Int("n", 50000, "Monte-Carlo samples")
 		seed     = flag.Uint64("seed", 1, "random seed")
+		workers  = flag.Int("workers", 0, "evaluation worker goroutines (0 = GOMAXPROCS, 1 = sequential; results are identical)")
 		xFlag    = flag.String("x", "", "comma-separated design vector (default: reference design)")
 	)
 	flag.Parse()
@@ -83,7 +84,7 @@ func main() {
 		fmt.Printf("total violation: %.4g\n", constraint.TotalViolation(p.Specs(), perf))
 	}
 	start := time.Now()
-	y, err := moheco.EstimateYield(p, x, *n, *seed)
+	y, err := moheco.EstimateYieldWorkers(p, x, *n, *seed, *workers)
 	if err != nil {
 		fatal(err)
 	}

@@ -1,0 +1,3 @@
+module github.com/eda-go/moheco
+
+go 1.21

@@ -23,11 +23,10 @@ package core
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"github.com/eda-go/moheco/internal/constraint"
 	"github.com/eda-go/moheco/internal/de"
+	"github.com/eda-go/moheco/internal/engine"
 	"github.com/eda-go/moheco/internal/nm"
 	"github.com/eda-go/moheco/internal/ocba"
 	"github.com/eda-go/moheco/internal/oo"
@@ -105,10 +104,13 @@ type Options struct {
 	// Seed fixes all randomness of the run.
 	Seed uint64
 
-	// Workers sets the number of goroutines used to evaluate candidates'
-	// Monte-Carlo samples in parallel (0 = GOMAXPROCS). Each candidate owns
-	// an independent random stream, so results are identical regardless of
-	// the worker count.
+	// Workers sets the number of goroutines used by the parallel
+	// evaluation engine (0 = GOMAXPROCS, 1 = fully sequential). Every
+	// simulation-heavy path — nominal-fitness screening, the initial n0
+	// warm-up, OCBA allocation rounds, stage-2 promotions, fixed-budget
+	// estimation, the best member's top-up and the Nelder–Mead probes —
+	// runs through it. Each candidate owns an independent random stream,
+	// so results are bit-identical regardless of the worker count.
 	Workers int
 
 	// RecordPopulations stores per-generation feasible-candidate snapshots
@@ -239,10 +241,22 @@ func Optimize(p problem.Problem, opts Options) (*Result, error) {
 	lo, hi := p.Bounds()
 	rng := randx.New(o.Seed)
 	counter := &yieldsim.Counter{}
-	ycfg := yieldsim.Config{Sampler: o.Sampler, AcceptanceSampling: o.AcceptanceSampling}
+	// Candidates are created with sequential batches; each evaluation
+	// path retunes them via SetWorkers — the population estimate splits
+	// the pool between its cross-candidate fan-out and the candidates'
+	// own batches (engine.Split), while single-candidate paths (the best
+	// member's stage-2 top-up, the Nelder–Mead probes) take the full
+	// pool. Nesting two full-width pools would multiply the goroutine
+	// count without adding throughput.
+	ycfg := yieldsim.Config{
+		Sampler:            o.Sampler,
+		AcceptanceSampling: o.AcceptanceSampling,
+		Workers:            1,
+	}
 	manager := &oo.Manager{
 		N0: o.N0, SimAve: o.SimAve, Delta: o.Delta,
 		MaxSims: o.MaxSims, Threshold: o.Threshold,
+		Workers: o.Workers,
 	}
 	candSeq := uint64(0)
 	newCandidate := func(x []float64) *yieldsim.Candidate {
@@ -253,6 +267,14 @@ func Optimize(p problem.Problem, opts Options) (*Result, error) {
 		fit, _, _ := problem.NominalFitness(p, x)
 		counter.Add(1)
 		return fit
+	}
+	// screen computes every member's nominal fitness on the worker pool:
+	// the checks are independent and the simulation counter is atomic.
+	screen := func(ms []*member) error {
+		return engine.ForEachN(o.Workers, len(ms), func(i int) error {
+			ms[i].fit = nominal(ms[i].x)
+			return nil
+		})
 	}
 
 	// estimate runs the method's yield estimation over feasible members.
@@ -269,16 +291,28 @@ func Optimize(p problem.Problem, opts Options) (*Result, error) {
 		for _, m := range feas {
 			m.cand = newCandidate(m.x)
 		}
+		// Split the pool between the cross-candidate fan-out and each
+		// candidate's own sample batches. This helps the paths whose
+		// batches clear yieldsim's parallel threshold — fixed-budget
+		// estimation and large stage-2 promotions with few feasible
+		// candidates; small stage-1 batches (n0 warm-ups, OCBA
+		// increments) stay sequential inside each candidate regardless,
+		// so sparse-feasible OO generations remain bounded by
+		// SimAve·len(feas) sequential sims.
+		inner := engine.Split(o.Workers, len(feas))
+		for _, m := range feas {
+			m.cand.SetWorkers(inner)
+		}
 		switch o.Method {
 		case MethodFixedBudget:
 			// Candidates sample independent streams: evaluate in parallel.
-			if err := parallelSample(feas, o.Workers, o.FixedSims); err != nil {
+			if err := sampleAll(feas, o.Workers, o.FixedSims); err != nil {
 				return err
 			}
 		default:
-			// The OCBA rounds are inherently sequential, but the initial n0
-			// samples per candidate are not.
-			if err := parallelSample(feas, o.Workers, o.N0); err != nil {
+			// The initial n0 samples per candidate are independent; the
+			// OCBA rounds that follow parallelize within each round.
+			if err := sampleAll(feas, o.Workers, o.N0); err != nil {
 				return err
 			}
 			group := make([]ocba.Candidate, len(feas))
@@ -296,10 +330,14 @@ func Optimize(p problem.Problem, opts Options) (*Result, error) {
 	}
 
 	// --- Initialization (step 0) ---
+	// Designs are drawn sequentially (the run RNG is shared state); their
+	// feasibility checks then run on the worker pool.
 	pop := make([]*member, o.PopSize)
 	for i := range pop {
-		x := problem.RandomDesign(p, rng)
-		pop[i] = &member{x: x, fit: nominal(x)}
+		pop[i] = &member{x: problem.RandomDesign(p, rng)}
+	}
+	if err := screen(pop); err != nil {
+		return nil, err
 	}
 	if err := estimate(pop); err != nil {
 		return nil, err
@@ -329,7 +367,10 @@ func Optimize(p problem.Problem, opts Options) (*Result, error) {
 		// Steps 3–7: feasibility and method-specific yield estimation.
 		trials := make([]*member, len(trialsX))
 		for i, x := range trialsX {
-			trials[i] = &member{x: x, fit: nominal(x)}
+			trials[i] = &member{x: x}
+		}
+		if err := screen(trials); err != nil {
+			return nil, err
 		}
 		if err := estimate(trials); err != nil {
 			return nil, err
@@ -353,6 +394,7 @@ func Optimize(p problem.Problem, opts Options) (*Result, error) {
 		// stage-1 overestimates that would otherwise ratchet in as an
 		// unbeatable incumbent.
 		if b := pop[best]; b.fit.Feasible && b.cand != nil && b.cand.Samples() < o.MaxSims {
+			b.cand.SetWorkers(o.Workers)
 			if err := b.cand.EnsureSamples(o.MaxSims); err != nil {
 				return nil, err
 			}
@@ -441,6 +483,7 @@ func Optimize(p problem.Problem, opts Options) (*Result, error) {
 		if b.cand == nil {
 			b.cand = newCandidate(b.x)
 		}
+		b.cand.SetWorkers(o.Workers)
 		if err := b.cand.EnsureSamples(o.MaxSims); err != nil {
 			return nil, err
 		}
@@ -492,7 +535,10 @@ func localSearch(
 			evals = append(evals, rec)
 			return 1 + fit.Violation
 		}
+		// NM evaluates one point at a time, so the probe's samples get the
+		// full worker pool.
 		cand := newCandidate(x)
+		cand.SetWorkers(o.Workers)
 		if err := cand.AddSamples(probeSims); err != nil {
 			return 2
 		}
@@ -536,48 +582,12 @@ func sameVec(a, b []float64) bool {
 	return true
 }
 
-// parallelSample tops every member's candidate up to n samples using a
-// bounded worker pool. Per-candidate sample streams are private, so the
-// result is independent of scheduling.
-func parallelSample(ms []*member, workers, n int) error {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(ms) {
-		workers = len(ms)
-	}
-	if workers <= 1 {
-		for _, m := range ms {
-			if err := m.cand.EnsureSamples(n); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	var wg sync.WaitGroup
-	errs := make([]error, workers)
-	next := make(chan *member, len(ms))
-	for _, m := range ms {
-		next <- m
-	}
-	close(next)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for m := range next {
-				if err := m.cand.EnsureSamples(n); err != nil {
-					errs[w] = err
-					return
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+// sampleAll tops every member's candidate up to n samples on the engine's
+// worker pool. Per-candidate sample streams are private, so the result is
+// independent of scheduling, and the engine reports errors in candidate
+// order rather than goroutine-completion order.
+func sampleAll(ms []*member, workers, n int) error {
+	return engine.ForEachN(workers, len(ms), func(i int) error {
+		return ms[i].cand.EnsureSamples(n)
+	})
 }

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/eda-go/moheco/internal/circuits"
+	"github.com/eda-go/moheco/internal/problem"
+)
+
+// TestWorkersDoNotChangeResults is the engine's core guarantee: for a fixed
+// seed, a fully sequential run and a heavily parallel run produce the
+// byte-identical Result — same best design, same reported yield, same
+// simulation counts, same per-generation history.
+func TestWorkersDoNotChangeResults(t *testing.T) {
+	cases := []struct {
+		name    string
+		problem func() problem.Problem
+		method  Method
+		opts    func(o *Options)
+	}{
+		{
+			name:    "quickstart/MOHECO",
+			problem: func() problem.Problem { return circuits.NewCommonSource() },
+			method:  MethodMOHECO,
+			opts:    func(o *Options) { o.PopSize = 24; o.MaxGenerations = 20 },
+		},
+		{
+			name:    "quickstart/FixedBudget",
+			problem: func() problem.Problem { return circuits.NewCommonSource() },
+			method:  MethodFixedBudget,
+			opts:    func(o *Options) { o.PopSize = 24; o.MaxGenerations = 20; o.FixedSims = 120 },
+		},
+		{
+			// 25 generations is past the point this seed turns feasible,
+			// so the OCBA rounds, stage-2 promotions and best top-ups all
+			// run with real yield estimation work.
+			name:    "telescopic/MOHECO",
+			problem: func() problem.Problem { return circuits.NewTelescopic() },
+			method:  MethodMOHECO,
+			opts:    func(o *Options) { o.PopSize = 20; o.MaxGenerations = 25 },
+		},
+		{
+			name:    "telescopic/FixedBudget",
+			problem: func() problem.Problem { return circuits.NewTelescopic() },
+			method:  MethodFixedBudget,
+			opts:    func(o *Options) { o.PopSize = 20; o.MaxGenerations = 25; o.FixedSims = 100 },
+		},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			run := func(workers int) *Result {
+				o := DefaultOptions(c.method, 150)
+				o.Seed = 11
+				o.Workers = workers
+				o.RecordPopulations = true
+				c.opts(&o)
+				res, err := Optimize(c.problem(), o)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				return res
+			}
+			seq := run(1)
+			par := run(8)
+			if seq.TotalSims < 100 {
+				t.Fatalf("run too small to exercise the engine: %d sims", seq.TotalSims)
+			}
+			if !seq.Feasible {
+				t.Fatal("run never reached the yield-estimation phase")
+			}
+			if !reflect.DeepEqual(seq, par) {
+				t.Errorf("Workers=1 and Workers=8 diverged:\n  seq: yield=%v sims=%d gens=%d x=%v\n  par: yield=%v sims=%d gens=%d x=%v",
+					seq.BestYield, seq.TotalSims, seq.Generations, seq.BestX,
+					par.BestYield, par.TotalSims, par.Generations, par.BestX)
+			}
+		})
+	}
+}
+
+// TestWorkersDefaultMatchesSequential pins the 0 = GOMAXPROCS default to the
+// same results as an explicit sequential run.
+func TestWorkersDefaultMatchesSequential(t *testing.T) {
+	run := func(workers int) *Result {
+		o := DefaultOptions(MethodMOHECO, 150)
+		o.PopSize = 24
+		o.MaxGenerations = 15
+		o.Seed = 23
+		o.Workers = workers
+		res, err := Optimize(circuits.NewCommonSource(), o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	if !reflect.DeepEqual(run(1), run(0)) {
+		t.Error("Workers=0 (GOMAXPROCS) diverged from Workers=1")
+	}
+}

@@ -1,0 +1,200 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestResolve(t *testing.T) {
+	procs := runtime.GOMAXPROCS(0)
+	cases := []struct {
+		workers, n, want int
+	}{
+		{0, 100, min(procs, 100)},
+		{-3, 100, min(procs, 100)},
+		{4, 100, 4},
+		{4, 2, 2},
+		{8, 1, 1},
+		{1, 0, 1},
+		{0, 0, 1},
+	}
+	for _, c := range cases {
+		if got := Resolve(c.workers, c.n); got != c.want {
+			t.Errorf("Resolve(%d, %d) = %d, want %d", c.workers, c.n, got, c.want)
+		}
+	}
+}
+
+func TestForEachNZeroItems(t *testing.T) {
+	called := false
+	if err := ForEachN(4, 0, func(int) error { called = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Error("fn called for empty batch")
+	}
+}
+
+func TestForEachNSingleWorkerRunsInOrder(t *testing.T) {
+	var order []int
+	if err := ForEachN(1, 10, func(i int) error {
+		order = append(order, i)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("sequential order broken: %v", order)
+		}
+	}
+}
+
+func TestForEachNSingleWorkerStopsAtFirstError(t *testing.T) {
+	ran := 0
+	err := ForEachN(1, 10, func(i int) error {
+		ran++
+		if i == 3 {
+			return errors.New("boom")
+		}
+		return nil
+	})
+	if err == nil || ran != 4 {
+		t.Errorf("err = %v, ran = %d (want error after 4 items)", err, ran)
+	}
+}
+
+func TestForEachNRunsEveryItemExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7, 16, 100} {
+		n := 257
+		counts := make([]atomic.Int32, n)
+		if err := ForEachN(workers, n, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: item %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachNSaturationBound(t *testing.T) {
+	// The pool must never run more goroutines than requested.
+	const workers = 3
+	var inflight, peak atomic.Int32
+	if err := ForEachN(workers, 200, func(i int) error {
+		cur := inflight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		inflight.Add(-1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Errorf("observed %d concurrent items, worker bound is %d", p, workers)
+	}
+}
+
+func TestForEachNDeterministicErrorOrdering(t *testing.T) {
+	// Many items fail; the reported error must always be the lowest-index
+	// one, regardless of which goroutine finishes first. Items above the
+	// first failure may or may not run (workers stop claiming new items),
+	// so only items at or below the first failing index are guaranteed.
+	failAt := map[int]bool{5: true, 6: true, 90: true, 199: true}
+	for trial := 0; trial < 20; trial++ {
+		err := ForEachN(8, 200, func(i int) error {
+			if failAt[i] {
+				return fmt.Errorf("item %d failed", i)
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatal("expected an error")
+		}
+		if got := err.Error(); got != "item 5 failed" {
+			t.Fatalf("trial %d: error %q, want lowest-index item 5", trial, got)
+		}
+	}
+}
+
+func TestForEachNStopsClaimingAfterFailure(t *testing.T) {
+	var ran atomic.Int32
+	err := ForEachN(2, 100000, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return errors.New("early failure")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	// Workers stop claiming once the failure is visible; far fewer than
+	// all items must have run.
+	if r := ran.Load(); r > 50000 {
+		t.Errorf("%d of 100000 items ran after an immediate failure", r)
+	}
+}
+
+func TestMapCollectsInIndexOrder(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		out, err := Map(workers, 100, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestMapErrorReturnsLowestIndex(t *testing.T) {
+	out, err := Map(8, 50, func(i int) (string, error) {
+		if i%10 == 7 {
+			return "", fmt.Errorf("fail %d", i)
+		}
+		return "ok", nil
+	})
+	if err == nil || err.Error() != "fail 7" {
+		t.Fatalf("err = %v, want fail 7", err)
+	}
+	if len(out) != 50 {
+		t.Fatalf("partial results length %d", len(out))
+	}
+}
+
+func TestSplit(t *testing.T) {
+	cases := []struct {
+		workers, n, want int
+	}{
+		{8, 2, 4},
+		{8, 3, 2},
+		{8, 8, 1},
+		{8, 50, 1},
+		{8, 1, 8},
+		{4, 0, 4},
+		{1, 10, 1},
+	}
+	for _, c := range cases {
+		if got := Split(c.workers, c.n); got != c.want {
+			t.Errorf("Split(%d, %d) = %d, want %d", c.workers, c.n, got, c.want)
+		}
+	}
+	if got := Split(0, 1); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Split(0, 1) = %d, want GOMAXPROCS", got)
+	}
+}

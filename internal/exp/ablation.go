@@ -6,6 +6,7 @@ import (
 
 	"github.com/eda-go/moheco/internal/circuits"
 	"github.com/eda-go/moheco/internal/core"
+	"github.com/eda-go/moheco/internal/engine"
 	"github.com/eda-go/moheco/internal/randx"
 	"github.com/eda-go/moheco/internal/sample"
 	"github.com/eda-go/moheco/internal/stats"
@@ -53,37 +54,57 @@ type AblationResult struct {
 func RunAblation(cfg Config) (*AblationResult, error) {
 	p := circuits.NewFoldedCascode()
 	out := &AblationResult{Problem: p.Name(), Runs: cfg.Runs}
+	inner := engine.Split(cfg.Workers, cfg.Runs)
+	progress := cfg.progressWriter()
 	for vi, v := range AblationVariants() {
-		devs := make([]float64, 0, cfg.Runs)
-		sims := make([]float64, 0, cfg.Runs)
-		feasible := 0
-		for run := 0; run < cfg.Runs; run++ {
+		// Repetitions are independent: run them on the evaluation engine's
+		// worker pool and aggregate in run order.
+		type runOut struct {
+			sims     float64
+			dev      float64
+			feasible bool
+		}
+		outs, err := engine.Map(cfg.Workers, cfg.Runs, func(run int) (runOut, error) {
 			opts := core.DefaultOptions(core.MethodMOHECO, 500)
 			opts.MaxGenerations = cfg.MaxGens
+			opts.Workers = inner
 			// Same seeds across variants: paired comparison.
 			opts.Seed = randx.DeriveSeed(cfg.Seed, 0xab, uint64(run))
 			v.Mutate(&opts)
 			res, err := core.Optimize(p, opts)
 			if err != nil {
-				return nil, fmt.Errorf("ablation %q run %d: %w", v.Label, run, err)
+				return runOut{}, fmt.Errorf("ablation %q run %d: %w", v.Label, run, err)
 			}
-			sims = append(sims, float64(res.TotalSims))
+			ro := runOut{sims: float64(res.TotalSims)}
 			if res.Feasible {
-				feasible++
-				ref, _, err := yieldsim.Reference(p, res.BestX, cfg.RefSamples,
-					randx.DeriveSeed(cfg.Seed, 0xab5, uint64(vi), uint64(run)), nil)
+				ro.feasible = true
+				ref, _, err := yieldsim.ReferenceWorkers(p, res.BestX, cfg.RefSamples,
+					randx.DeriveSeed(cfg.Seed, 0xab5, uint64(vi), uint64(run)), nil, inner)
 				if err != nil {
-					return nil, err
+					return runOut{}, err
 				}
-				d := res.BestYield - ref
-				if d < 0 {
-					d = -d
+				ro.dev = res.BestYield - ref
+				if ro.dev < 0 {
+					ro.dev = -ro.dev
 				}
-				devs = append(devs, d)
 			}
-			if cfg.Progress != nil {
-				fmt.Fprintf(cfg.Progress, "ablation: %s run %d/%d: sims=%d\n",
+			if progress != nil {
+				fmt.Fprintf(progress, "ablation: %s run %d/%d: sims=%d\n",
 					v.Label, run+1, cfg.Runs, res.TotalSims)
+			}
+			return ro, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		devs := make([]float64, 0, cfg.Runs)
+		sims := make([]float64, 0, cfg.Runs)
+		feasible := 0
+		for _, ro := range outs {
+			sims = append(sims, ro.sims)
+			if ro.feasible {
+				feasible++
+				devs = append(devs, ro.dev)
 			}
 		}
 		out.Rows = append(out.Rows, AblationRow{

@@ -10,9 +10,11 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 
 	"github.com/eda-go/moheco/internal/circuits"
 	"github.com/eda-go/moheco/internal/core"
+	"github.com/eda-go/moheco/internal/engine"
 	"github.com/eda-go/moheco/internal/problem"
 	"github.com/eda-go/moheco/internal/randx"
 	"github.com/eda-go/moheco/internal/rsb"
@@ -30,8 +32,37 @@ type Config struct {
 	MaxGens int
 	// Seed derives all per-run seeds.
 	Seed uint64
-	// Progress, when non-nil, receives one line per completed run.
+	// Workers bounds the evaluation engine's parallelism (0 = GOMAXPROCS,
+	// 1 = fully sequential). It applies both across a method's repetitions
+	// and inside each optimization run; per-run seeds are derived from the
+	// run index, so results are identical for every worker count.
+	Workers int
+	// Progress, when non-nil, receives one line per completed run. Any
+	// io.Writer works: the harness serializes writes from concurrent
+	// runs, though line order across runs follows completion order.
 	Progress io.Writer
+}
+
+// progressWriter returns cfg.Progress wrapped so concurrent repetitions
+// can write to it safely, or nil when no progress sink is set.
+func (c Config) progressWriter() io.Writer {
+	if c.Progress == nil {
+		return nil
+	}
+	return &syncWriter{w: c.Progress}
+}
+
+// syncWriter serializes Write calls so a plain writer (a bytes.Buffer, an
+// unwrapped file) is safe as a progress sink for concurrent runs.
+type syncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
 }
 
 // Full returns the paper-scale configuration.
@@ -105,21 +136,28 @@ type TableResult struct {
 }
 
 // RunTable executes every method for cfg.Runs repetitions on the problem.
+// Repetitions are independent (each derives its seed from the run index),
+// so they run on the evaluation engine's worker pool; the per-run stats are
+// collected in run order and the summaries are identical for every worker
+// count.
 func RunTable(name string, p problem.Problem, methods []MethodSpec, cfg Config) (*TableResult, error) {
 	out := &TableResult{Name: name, Problem: p.Name()}
+	// Split the pool between the repetition fan-out and each run's own
+	// engine, so nested parallelism stays near the core count.
+	inner := engine.Split(cfg.Workers, cfg.Runs)
+	progress := cfg.progressWriter()
 	for mi, spec := range methods {
 		mr := MethodResult{Label: spec.Label}
-		devs := make([]float64, 0, cfg.Runs)
-		sims := make([]float64, 0, cfg.Runs)
-		for run := 0; run < cfg.Runs; run++ {
+		runStats, err := engine.Map(cfg.Workers, cfg.Runs, func(run int) (RunStat, error) {
 			seed := randx.DeriveSeed(cfg.Seed, uint64(mi), uint64(run))
 			opts := core.DefaultOptions(spec.Method, spec.MaxSims)
 			opts.FixedSims = spec.FixedSims
 			opts.MaxGenerations = cfg.MaxGens
 			opts.Seed = seed
+			opts.Workers = inner
 			res, err := core.Optimize(p, opts)
 			if err != nil {
-				return nil, fmt.Errorf("%s run %d: %w", spec.Label, run, err)
+				return RunStat{}, fmt.Errorf("%s run %d: %w", spec.Label, run, err)
 			}
 			st := RunStat{
 				Seed:        seed,
@@ -130,21 +168,31 @@ func RunTable(name string, p problem.Problem, methods []MethodSpec, cfg Config) 
 				StopReason:  res.StopReason,
 			}
 			if res.Feasible {
-				ref, _, err := yieldsim.Reference(p, res.BestX, cfg.RefSamples,
-					randx.DeriveSeed(cfg.Seed, 0x4ef, uint64(mi), uint64(run)), nil)
+				ref, _, err := yieldsim.ReferenceWorkers(p, res.BestX, cfg.RefSamples,
+					randx.DeriveSeed(cfg.Seed, 0x4ef, uint64(mi), uint64(run)), nil, inner)
 				if err != nil {
-					return nil, err
+					return RunStat{}, err
 				}
 				st.RefYield = ref
 				st.Deviation = math.Abs(res.BestYield - ref)
-				devs = append(devs, st.Deviation)
 			}
-			sims = append(sims, float64(res.TotalSims))
-			mr.Runs = append(mr.Runs, st)
-			if cfg.Progress != nil {
-				fmt.Fprintf(cfg.Progress, "%s: %s run %d/%d: gens=%d sims=%d yield=%.4f ref=%.4f stop=%s\n",
+			if progress != nil {
+				fmt.Fprintf(progress, "%s: %s run %d/%d: gens=%d sims=%d yield=%.4f ref=%.4f stop=%s\n",
 					name, spec.Label, run+1, cfg.Runs, st.Generations, st.Sims, st.Yield, st.RefYield, st.StopReason)
 			}
+			return st, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		devs := make([]float64, 0, cfg.Runs)
+		sims := make([]float64, 0, cfg.Runs)
+		for _, st := range runStats {
+			if st.Feasible {
+				devs = append(devs, st.Deviation)
+			}
+			sims = append(sims, float64(st.Sims))
+			mr.Runs = append(mr.Runs, st)
 		}
 		mr.Deviation = stats.Summarize(devs)
 		mr.Sims = stats.Summarize(sims)
@@ -223,6 +271,7 @@ func RunRSB(cfg Config) (*rsb.Result, error) {
 	opts := core.DefaultOptions(core.MethodMOHECO, 500)
 	opts.Seed = randx.DeriveSeed(cfg.Seed, 0x5b)
 	opts.MaxGenerations = cfg.MaxGens
+	opts.Workers = cfg.Workers
 	opts.RecordPopulations = true
 	res, err := core.Optimize(p, opts)
 	if err != nil {

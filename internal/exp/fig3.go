@@ -38,6 +38,7 @@ func RunFig3(cfg Config) (*Fig3Result, error) {
 	opts := core.DefaultOptions(core.MethodMOHECO, 500)
 	opts.Seed = randx.DeriveSeed(cfg.Seed, 0xf13)
 	opts.MaxGenerations = cfg.MaxGens
+	opts.Workers = cfg.Workers
 	opts.RecordPopulations = true
 	res, err := core.Optimize(p, opts)
 	if err != nil {

@@ -63,7 +63,7 @@ func RunPSWCD(cfg Config) (*PSWCDResult, error) {
 		CornerPass:  cres.CornersPass,
 		CornerEvals: cres.Evaluations,
 	}
-	y, _, err := yieldsim.Reference(p, cres.X, cfg.RefSamples, randx.DeriveSeed(cfg.Seed, 0xc1), nil)
+	y, _, err := yieldsim.ReferenceWorkers(p, cres.X, cfg.RefSamples, randx.DeriveSeed(cfg.Seed, 0xc1), nil, cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -73,12 +73,13 @@ func RunPSWCD(cfg Config) (*PSWCDResult, error) {
 	opts := core.DefaultOptions(core.MethodMOHECO, 500)
 	opts.Seed = randx.DeriveSeed(cfg.Seed, 0xc2)
 	opts.MaxGenerations = cfg.MaxGens
+	opts.Workers = cfg.Workers
 	mres, err := core.Optimize(p, opts)
 	if err != nil {
 		return nil, err
 	}
 	out.MohecoEvals = mres.TotalSims
-	my, _, err := yieldsim.Reference(p, mres.BestX, cfg.RefSamples, randx.DeriveSeed(cfg.Seed, 0xc3), nil)
+	my, _, err := yieldsim.ReferenceWorkers(p, mres.BestX, cfg.RefSamples, randx.DeriveSeed(cfg.Seed, 0xc3), nil, cfg.Workers)
 	if err != nil {
 		return nil, err
 	}

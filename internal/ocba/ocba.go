@@ -12,7 +12,11 @@
 // many samples; clearly inferior ones receive few.
 package ocba
 
-import "math"
+import (
+	"math"
+
+	"github.com/eda-go/moheco/internal/engine"
+)
 
 // minGap floors δ so ties with the best do not produce infinite weights;
 // it is expressed in the units of the means (yield here, so 0.5%).
@@ -121,12 +125,21 @@ func Allocate(means, stds []float64, total int) []int {
 
 // Sequencer drives the standard sequential OCBA loop: start every candidate
 // at n0 samples, then repeatedly grow the budget by delta and top candidates
-// up to their newly computed targets until the total budget is spent.
+// up to their newly computed targets until the total budget is spent. The
+// rounds themselves are inherently sequential (each allocation reads the
+// means and variances the previous round produced), but within a round the
+// per-candidate increments are independent and run on the worker pool.
 type Sequencer struct {
 	// N0 is the initial number of samples per candidate (paper: 15).
 	N0 int
 	// Delta is the per-round budget increment (paper-style default: 10).
 	Delta int
+	// Workers bounds the goroutines executing one round's sample
+	// increments (0 = GOMAXPROCS, 1 = sequential). A round's increments
+	// are computed before any sample is drawn and candidates own private
+	// sample streams, so the allocation sequence is identical for every
+	// worker count.
+	Workers int
 }
 
 // Candidate is the minimal interface the sequencer needs; satisfied by
@@ -154,10 +167,14 @@ func (s *Sequencer) Run(cands []Candidate, totalBudget int) (int, error) {
 		delta = 10
 	}
 	used := 0
+	adds := make([]int, len(cands))
+	for i, c := range cands {
+		adds[i] = n0 - c.Samples()
+	}
+	if err := RunIncrements(s.Workers, cands, adds); err != nil {
+		return used, err
+	}
 	for _, c := range cands {
-		if err := c.AddSamples(n0 - c.Samples()); err != nil {
-			return used, err
-		}
 		used += c.Samples()
 	}
 	for used < totalBudget {
@@ -176,17 +193,17 @@ func (s *Sequencer) Run(cands []Candidate, totalBudget int) (int, error) {
 			stds[i] = c.Std()
 		}
 		targets := Allocate(means, stds, next)
-		progressed := false
+		roundAdd := 0
 		for i, c := range cands {
-			if add := targets[i] - c.Samples(); add > 0 {
-				if err := c.AddSamples(add); err != nil {
-					return used, err
-				}
-				used += add
-				progressed = true
+			if adds[i] = targets[i] - c.Samples(); adds[i] > 0 {
+				roundAdd += adds[i]
 			}
 		}
-		if !progressed {
+		if err := RunIncrements(s.Workers, cands, adds); err != nil {
+			return used, err
+		}
+		used += roundAdd
+		if roundAdd == 0 {
 			// All targets below current counts (allocation wants to move
 			// budget it cannot reclaim); push the remainder to the best.
 			b := 0
@@ -206,4 +223,19 @@ func (s *Sequencer) Run(cands []Candidate, totalBudget int) (int, error) {
 		}
 	}
 	return used, nil
+}
+
+// RunIncrements executes precomputed per-candidate sample increments on the
+// worker pool; non-positive increments are skipped. Because the increments
+// are fixed before any sample is drawn and candidates own private sample
+// streams, the outcome is identical for every worker count, and errors
+// surface in candidate order. It is the shared execution primitive of the
+// sequencer's allocation rounds and oo's stage-2 promotions.
+func RunIncrements(workers int, cands []Candidate, adds []int) error {
+	return engine.ForEachN(workers, len(cands), func(i int) error {
+		if adds[i] <= 0 {
+			return nil
+		}
+		return cands[i].AddSamples(adds[i])
+	})
 }

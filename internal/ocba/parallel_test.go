@@ -1,0 +1,110 @@
+package ocba
+
+import (
+	"math"
+	"testing"
+)
+
+// fakeCand is a deterministic Bernoulli candidate with a private xorshift
+// stream, mirroring how yieldsim.Candidate owns its sample stream: the
+// values it produces depend only on its seed and its own call sequence,
+// never on which goroutine runs it.
+type fakeCand struct {
+	p     float64
+	n     int
+	pass  int
+	state uint64
+}
+
+func (f *fakeCand) AddSamples(n int) error {
+	for i := 0; i < n; i++ {
+		f.state ^= f.state << 13
+		f.state ^= f.state >> 7
+		f.state ^= f.state << 17
+		if float64(f.state%1e9)/1e9 < f.p {
+			f.pass++
+		}
+		f.n++
+	}
+	return nil
+}
+func (f *fakeCand) Samples() int { return f.n }
+func (f *fakeCand) Yield() float64 {
+	if f.n == 0 {
+		return 0
+	}
+	return float64(f.pass) / float64(f.n)
+}
+func (f *fakeCand) Std() float64 {
+	p := (float64(f.pass) + 1) / (float64(f.n) + 2)
+	return math.Sqrt(p * (1 - p))
+}
+
+func makeFakes() []Candidate {
+	trueP := []float64{0.95, 0.9, 0.8, 0.72, 0.6, 0.5, 0.35, 0.2, 0.1, 0.05}
+	cands := make([]Candidate, len(trueP))
+	for i, p := range trueP {
+		cands[i] = &fakeCand{p: p, state: uint64(1000 + 7*i)}
+	}
+	return cands
+}
+
+// TestSequencerParallelMatchesSequential is the OCBA regression guard: the
+// allocation rounds executed on the worker pool must reproduce the
+// sequential reference implementation exactly — same per-candidate sample
+// counts, same estimates, same total spend.
+func TestSequencerParallelMatchesSequential(t *testing.T) {
+	for _, workers := range []int{2, 4, 8, 0} {
+		seqC, parC := makeFakes(), makeFakes()
+		seq := &Sequencer{N0: 15, Delta: 10, Workers: 1}
+		par := &Sequencer{N0: 15, Delta: 10, Workers: workers}
+		const budget = 350
+		usedSeq, err := seq.Run(seqC, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		usedPar, err := par.Run(parC, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if usedSeq != usedPar {
+			t.Errorf("workers=%d: used %d vs sequential %d", workers, usedPar, usedSeq)
+		}
+		for i := range seqC {
+			if seqC[i].Samples() != parC[i].Samples() {
+				t.Errorf("workers=%d: candidate %d got %d samples, sequential reference %d",
+					workers, i, parC[i].Samples(), seqC[i].Samples())
+			}
+			if seqC[i].Yield() != parC[i].Yield() {
+				t.Errorf("workers=%d: candidate %d yield %v vs %v",
+					workers, i, parC[i].Yield(), seqC[i].Yield())
+			}
+		}
+	}
+}
+
+// TestSequencerBudgetAccounting pins the budget bookkeeping under the
+// round-based execution: the spend never exceeds budget + one increment
+// round and every candidate reaches at least n0.
+func TestSequencerBudgetAccounting(t *testing.T) {
+	cands := makeFakes()
+	s := &Sequencer{N0: 15, Delta: 10}
+	const budget = 350
+	used, err := s.Run(cands, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for i, c := range cands {
+		if c.Samples() < 15 {
+			t.Errorf("candidate %d below n0: %d", i, c.Samples())
+		}
+		total += c.Samples()
+	}
+	if total != used {
+		t.Errorf("accounted %d, candidates hold %d", used, total)
+	}
+	if used < budget || used > budget+10*len(cands) {
+		t.Errorf("spend %d outside [%d, %d]", used, budget, budget+10*len(cands))
+	}
+}

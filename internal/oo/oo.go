@@ -26,6 +26,10 @@ type Manager struct {
 	MaxSims int
 	// Threshold is the stage-2 promotion yield (paper: 0.97).
 	Threshold float64
+	// Workers bounds the goroutines used for the OCBA rounds and the
+	// stage-2 promotion top-ups (0 = GOMAXPROCS, 1 = sequential). The
+	// result is identical for every worker count.
+	Workers int
 }
 
 // NewManager returns a Manager with the paper's parameters and the given
@@ -53,19 +57,20 @@ func (m *Manager) Evaluate(cands []ocba.Candidate) ([]Stage, error) {
 	if len(cands) == 0 {
 		return stages, nil
 	}
-	seq := &ocba.Sequencer{N0: m.N0, Delta: m.Delta}
+	seq := &ocba.Sequencer{N0: m.N0, Delta: m.Delta, Workers: m.Workers}
 	if _, err := seq.Run(cands, m.SimAve*len(cands)); err != nil {
 		return stages, err
 	}
 	// Promotion: top up candidates whose ordinal estimate clears the
-	// threshold; their final value is then a stage-2 estimate.
+	// threshold; their final value is then a stage-2 estimate. The
+	// promotion set is decided sequentially, then the independent top-ups
+	// run on the worker pool.
+	adds := make([]int, len(cands))
 	for i, c := range cands {
 		if c.Yield() > m.Threshold {
-			if err := c.AddSamples(m.MaxSims - c.Samples()); err != nil {
-				return stages, err
-			}
+			adds[i] = m.MaxSims - c.Samples()
 			stages[i] = Stage2
 		}
 	}
-	return stages, nil
+	return stages, ocba.RunIncrements(m.Workers, cands, adds)
 }

@@ -1,0 +1,88 @@
+package yieldsim
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestCounterConcurrentStress hammers the shared simulation counter from
+// many goroutines; run under -race it also proves the counter is the only
+// shared mutable state a worker needs.
+func TestCounterConcurrentStress(t *testing.T) {
+	var ctr Counter
+	const goroutines = 32
+	const perG = 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				ctr.Add(1)
+				_ = ctr.Total() // concurrent reads are legal too
+			}
+		}()
+	}
+	wg.Wait()
+	if got := ctr.Total(); got != goroutines*perG {
+		t.Errorf("counter = %d, want %d", got, goroutines*perG)
+	}
+}
+
+// TestCandidateWorkersDoNotChangeEstimate asserts the three-phase AddSamples
+// contract: the worker count changes wall-clock only, never the estimate,
+// the stratum bookkeeping or the simulator-call count.
+func TestCandidateWorkersDoNotChangeEstimate(t *testing.T) {
+	for _, as := range []bool{false, true} {
+		p := &sphereProblem{radius: 1.8, dim: 2}
+		var ctrSeq, ctrPar Counter
+		seq := NewCandidate(p, []float64{0.5}, Config{AcceptanceSampling: as, Workers: 1}, &ctrSeq, 17)
+		par := NewCandidate(p, []float64{0.5}, Config{AcceptanceSampling: as, Workers: 8}, &ctrPar, 17)
+		// Mixed batch sizes: below and above the parallel threshold.
+		for _, n := range []int{10, 500, 37, 1200} {
+			if err := seq.AddSamples(n); err != nil {
+				t.Fatal(err)
+			}
+			if err := par.AddSamples(n); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if seq.Yield() != par.Yield() || seq.Samples() != par.Samples() || seq.Sims() != par.Sims() {
+			t.Errorf("AS=%v: sequential (y=%v n=%d sims=%d) vs parallel (y=%v n=%d sims=%d)",
+				as, seq.Yield(), seq.Samples(), seq.Sims(), par.Yield(), par.Samples(), par.Sims())
+		}
+		if ctrSeq.Total() != ctrPar.Total() {
+			t.Errorf("AS=%v: counters diverged: %d vs %d", as, ctrSeq.Total(), ctrPar.Total())
+		}
+	}
+}
+
+// TestReferenceWorkersDeterministic asserts the fixed-chunk scheme: the
+// reference estimate depends only on (seed, n), never on the worker count.
+func TestReferenceWorkersDeterministic(t *testing.T) {
+	p := &sphereProblem{radius: 1.4, dim: 2}
+	want, _, err := ReferenceWorkers(p, []float64{0.5}, 10000, 321, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8, 0} {
+		got, sims, err := ReferenceWorkers(p, []float64{0.5}, 10000, 321, nil, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sims != 10000 {
+			t.Errorf("workers=%d: sims = %d", workers, sims)
+		}
+		if got != want {
+			t.Errorf("workers=%d: estimate %v differs from sequential %v", workers, got, want)
+		}
+	}
+	// The convenience wrapper is the workers=0 case.
+	got, _, err := Reference(p, []float64{0.5}, 10000, 321, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("Reference() %v differs from ReferenceWorkers(...) %v", got, want)
+	}
+}

@@ -19,10 +19,9 @@ package yieldsim
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 	"sync/atomic"
 
+	"github.com/eda-go/moheco/internal/engine"
 	"github.com/eda-go/moheco/internal/problem"
 	"github.com/eda-go/moheco/internal/randx"
 	"github.com/eda-go/moheco/internal/sample"
@@ -56,6 +55,12 @@ type Config struct {
 	// ASMinStratum is the minimum number of simulated samples per stratum
 	// before thinning starts (default 8).
 	ASMinStratum int
+	// Workers bounds the goroutines used to run one batch's simulator
+	// calls in parallel (0 = GOMAXPROCS, 1 = sequential). Which samples
+	// are simulated, and into which stratum they fall, is decided
+	// sequentially before the simulator runs, so the estimate is
+	// identical for every worker count.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -133,19 +138,34 @@ func (c *Candidate) simulate(xi []float64) bool {
 	return ok
 }
 
+// minParallelBatch is the smallest number of simulator calls worth fanning
+// out to the worker pool; below it the pool overhead dominates.
+const minParallelBatch = 32
+
+// simJob is one deferred simulator call of a batch: the sample point and
+// the stratum its pass indicator belongs to.
+type simJob struct {
+	st *stratum
+	xi []float64
+}
+
 // AddSamples draws n further Monte-Carlo samples and updates the estimate.
+// The batch proceeds in three phases so that cfg.Workers never changes the
+// result: a sequential phase draws the points and decides — per stratum, in
+// draw order — which samples are simulated; the simulator calls then run on
+// the worker pool (each writing only its own result slot); a final
+// sequential phase accumulates the pass counts.
 func (c *Candidate) AddSamples(n int) error {
 	if n <= 0 {
 		return nil
 	}
 	pts := c.cfg.Sampler.Draw(c.rng, n, c.prob.VarDim())
+	jobs := make([]simJob, 0, len(pts))
 	for _, xi := range pts {
 		if !c.cfg.AcceptanceSampling {
 			c.border.assigned++
 			c.border.simmed++
-			if c.simulate(xi) {
-				c.border.pass++
-			}
+			jobs = append(jobs, simJob{&c.border, xi})
 			continue
 		}
 		st := &c.border
@@ -163,12 +183,31 @@ func (c *Candidate) AddSamples(n int) error {
 			}
 		}
 		st.simmed++
-		if c.simulate(xi) {
-			st.pass++
+		jobs = append(jobs, simJob{st, xi})
+	}
+	pass := make([]bool, len(jobs))
+	workers := c.cfg.Workers
+	if len(jobs) < minParallelBatch {
+		workers = 1
+	}
+	_ = engine.ForEachN(workers, len(jobs), func(i int) error {
+		pass[i] = c.simulate(jobs[i].xi)
+		return nil
+	})
+	for i, ok := range pass {
+		if ok {
+			jobs[i].st.pass++
 		}
 	}
 	return nil
 }
+
+// SetWorkers adjusts the worker bound for subsequent batches. Worker
+// counts never change estimates, so callers retune it freely — e.g. a
+// population evaluator that already fans out across candidates keeps
+// per-candidate batches sequential, then restores the full pool for
+// single-candidate top-ups.
+func (c *Candidate) SetWorkers(w int) { c.cfg.Workers = w }
 
 // EnsureSamples tops the candidate up to at least n accounted samples.
 func (c *Candidate) EnsureSamples(n int) error {
@@ -215,51 +254,53 @@ func norm2(v []float64) float64 {
 	return math.Sqrt(s)
 }
 
+// refChunk is the fixed reference-estimator chunk size. Each chunk owns a
+// seed derived from its index, so the estimate depends only on (seed, n) —
+// never on the worker count or the machine's GOMAXPROCS.
+const refChunk = 2048
+
 // Reference computes a high-accuracy plain-MC yield estimate (the paper's
-// 50,000-sample analysis) using parallel workers. It bypasses acceptance
+// 50,000-sample analysis) using all available cores. It bypasses acceptance
 // sampling so the answer is an unbiased Monte-Carlo estimate. The returned
 // sims is the number of simulator calls (= n). The counter, when non-nil,
 // is incremented; experiment harnesses usually pass nil so reference
 // evaluations do not pollute method costs.
 func Reference(p problem.Problem, x []float64, n int, seed uint64, counter *Counter) (float64, int, error) {
+	return ReferenceWorkers(p, x, n, seed, counter, 0)
+}
+
+// ReferenceWorkers is Reference with an explicit worker count (0 =
+// GOMAXPROCS). The sample stream is split into fixed-size chunks, each with
+// a seed derived from its chunk index, so every worker count — including 1
+// — produces the identical estimate.
+func ReferenceWorkers(p problem.Problem, x []float64, n int, seed uint64, counter *Counter, workers int) (float64, int, error) {
 	if n <= 0 {
 		return 0, 0, fmt.Errorf("yieldsim: reference sample count %d", n)
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = 1
-	}
-	chunk := (n + workers - 1) / workers
-	var wg sync.WaitGroup
-	passTotals := make([]int, workers)
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
+	chunks := (n + refChunk - 1) / refChunk
+	passTotals, err := engine.Map(workers, chunks, func(ci int) (int, error) {
+		lo := ci * refChunk
+		hi := lo + refChunk
 		if hi > n {
 			hi = n
 		}
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(w, count int) {
-			defer wg.Done()
-			rng := randx.New(randx.DeriveSeed(seed, uint64(w)))
-			pts := sample.PMC{}.Draw(rng, count, p.VarDim())
-			pass := 0
-			for _, xi := range pts {
-				ok, err := problem.PassFail(p, x, xi)
-				if err != nil {
-					ok = false
-				}
-				if ok {
-					pass++
-				}
+		rng := randx.New(randx.DeriveSeed(seed, uint64(ci)))
+		pts := sample.PMC{}.Draw(rng, hi-lo, p.VarDim())
+		pass := 0
+		for _, xi := range pts {
+			ok, err := problem.PassFail(p, x, xi)
+			if err != nil {
+				ok = false
 			}
-			passTotals[w] = pass
-		}(w, hi-lo)
+			if ok {
+				pass++
+			}
+		}
+		return pass, nil
+	})
+	if err != nil {
+		return 0, 0, err
 	}
-	wg.Wait()
 	pass := 0
 	for _, p := range passTotals {
 		pass += p

@@ -84,9 +84,16 @@ func Optimize(p Problem, opts Options) (*Result, error) {
 
 // EstimateYield computes an n-sample plain Monte-Carlo yield estimate of
 // design x — the reference analysis the paper scores every method against
-// (n = 50000 there).
+// (n = 50000 there) — using all available cores.
 func EstimateYield(p Problem, x []float64, n int, seed uint64) (float64, error) {
-	y, _, err := yieldsim.Reference(p, x, n, seed, nil)
+	return EstimateYieldWorkers(p, x, n, seed, 0)
+}
+
+// EstimateYieldWorkers is EstimateYield with an explicit worker count
+// (0 = GOMAXPROCS, 1 = sequential). The sample stream is chunked
+// deterministically, so every worker count returns the identical estimate.
+func EstimateYieldWorkers(p Problem, x []float64, n int, seed uint64, workers int) (float64, error) {
+	y, _, err := yieldsim.ReferenceWorkers(p, x, n, seed, nil, workers)
 	return y, err
 }
 
