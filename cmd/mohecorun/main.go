@@ -1,4 +1,4 @@
-// Command mohecorun runs a yield optimization on one of the built-in
+// Command mohecorun runs a yield optimization on one of the registered
 // problems and prints the result, including the final design, the reported
 // yield and a high-accuracy reference check.
 //
@@ -7,8 +7,8 @@
 //	mohecorun [-problem NAME] [-method NAME] [-maxsims N] [-seed S]
 //	          [-maxgens N] [-ref N] [-workers N] [-trace]
 //
-// Problems: foldedcascode (paper example 1), telescopic (example 2),
-// commonsource (quickstart). Methods: moheco, oo, fixed.
+// Problems come from the scenario registry (-h lists them); methods are
+// moheco, oo and fixed.
 package main
 
 import (
@@ -18,32 +18,38 @@ import (
 	"time"
 
 	moheco "github.com/eda-go/moheco"
+	"github.com/eda-go/moheco/internal/scenario"
 )
 
 func main() {
 	var (
-		probName = flag.String("problem", "foldedcascode", "foldedcascode | telescopic | commonsource")
+		probName = flag.String("problem", "foldedcascode", "registered problem name (see -h)")
 		method   = flag.String("method", "moheco", "moheco | oo | fixed")
-		maxSims  = flag.Int("maxsims", 500, "stage-2 / per-candidate sample budget")
+		maxSims  = flag.Int("maxsims", 0, "stage-2 / per-candidate sample budget (0 = problem default)")
 		fixed    = flag.Int("fixedsims", 0, "fixed-budget per-candidate samples (fixed method; default maxsims)")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		maxGens  = flag.Int("maxgens", 300, "generation cap")
-		refN     = flag.Int("ref", 50000, "reference MC samples for the final check (0 to skip)")
+		refN     = flag.Int("ref", -1, "reference MC samples for the final check (-1 = problem default, 0 to skip)")
 		workers  = flag.Int("workers", 0, "evaluation worker goroutines (0 = GOMAXPROCS, 1 = sequential; results are identical)")
 		trace    = flag.Bool("trace", false, "print per-generation progress")
 	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: mohecorun [flags]\n\n")
+		flag.PrintDefaults()
+		fmt.Fprintf(flag.CommandLine.Output(), "\n%s", scenario.Usage())
+	}
 	flag.Parse()
 
-	var p moheco.Problem
-	switch *probName {
-	case "foldedcascode":
-		p = moheco.NewFoldedCascodeProblem()
-	case "telescopic":
-		p = moheco.NewTelescopicProblem()
-	case "commonsource":
-		p = moheco.NewCommonSourceProblem()
-	default:
-		fatal(fmt.Errorf("unknown problem %q", *probName))
+	sc, err := scenario.Get(*probName)
+	if err != nil {
+		fatal(err)
+	}
+	p := sc.New()
+	if *maxSims <= 0 {
+		*maxSims = sc.DefaultMaxSims
+	}
+	if *refN < 0 {
+		*refN = sc.DefaultRefSamples
 	}
 	var m moheco.Method
 	switch *method {

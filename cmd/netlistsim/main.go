@@ -1,16 +1,19 @@
-// Command netlistsim runs the built-in MNA circuit simulator on a
-// SPICE-like netlist file: DC operating point and, optionally, an AC sweep
-// of one node.
+// Command netlistsim runs the built-in MNA circuit simulator: DC operating
+// point and, optionally, an AC sweep of one node — on a SPICE-like netlist
+// file, or on the testbench netlist of a registered problem.
 //
 // Usage:
 //
 //	netlistsim [-ac node] [-fstart F] [-fstop F] [-ppd N]
 //	           [-tran node] [-tstop T] [-tstep T] file.sp
+//	netlistsim -problem NAME [analysis flags]
 //
 // The netlist format supports R, C, V, I, E, G and M cards plus .model
-// lines; see internal/netlist. With -ac, the magnitude/phase response of
-// the named node is printed together with DC gain, unity-gain frequency and
-// phase margin.
+// lines; see internal/netlist. With -problem, the scenario registry builds
+// the named problem's transistor-level testbench at its reference design
+// (-h lists the registered problems). With -ac, the magnitude/phase
+// response of the named node is printed together with DC gain, unity-gain
+// frequency and phase margin.
 package main
 
 import (
@@ -19,36 +22,70 @@ import (
 	"os"
 	"sort"
 
+	_ "github.com/eda-go/moheco/internal/circuits" // register the built-in scenarios
 	"github.com/eda-go/moheco/internal/measure"
 	"github.com/eda-go/moheco/internal/netlist"
+	"github.com/eda-go/moheco/internal/scenario"
 	"github.com/eda-go/moheco/internal/spice"
 )
 
 func main() {
 	var (
-		acNode = flag.String("ac", "", "node for AC transfer analysis")
-		fStart = flag.Float64("fstart", 10, "AC sweep start frequency (Hz)")
-		fStop  = flag.Float64("fstop", 1e9, "AC sweep stop frequency (Hz)")
-		ppd    = flag.Int("ppd", 10, "AC sweep points per decade")
-		trNode = flag.String("tran", "", "node for transient analysis (PULSE sources drive it)")
-		tStop  = flag.Float64("tstop", 1e-6, "transient stop time (s)")
-		tStep  = flag.Float64("tstep", 1e-9, "transient step (s)")
+		probName = flag.String("problem", "", "simulate a registered problem's testbench instead of a file (see -h)")
+		acNode   = flag.String("ac", "", "node for AC transfer analysis")
+		fStart   = flag.Float64("fstart", 10, "AC sweep start frequency (Hz)")
+		fStop    = flag.Float64("fstop", 1e9, "AC sweep stop frequency (Hz)")
+		ppd      = flag.Int("ppd", 10, "AC sweep points per decade")
+		trNode   = flag.String("tran", "", "node for transient analysis (PULSE sources drive it)")
+		tStop    = flag.Float64("tstop", 1e-6, "transient stop time (s)")
+		tStep    = flag.Float64("tstep", 1e-9, "transient step (s)")
 	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: netlistsim [flags] file.sp | netlistsim -problem NAME [flags]\n\n")
+		flag.PrintDefaults()
+		fmt.Fprintf(flag.CommandLine.Output(), "\n%s", scenario.Usage())
+	}
 	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: netlistsim [flags] file.sp")
+
+	var (
+		ckt     *netlist.Circuit
+		nodeset map[string]float64
+	)
+	switch {
+	case *probName != "":
+		if flag.NArg() != 0 {
+			fatal(fmt.Errorf("-problem and a netlist file are mutually exclusive"))
+		}
+		sc, err := scenario.Get(*probName)
+		if err != nil {
+			fatal(err)
+		}
+		if sc.Netlist == nil {
+			fatal(fmt.Errorf("problem %q has no testbench netlist", sc.Name))
+		}
+		x, ok := scenario.ReferenceDesign(sc.New())
+		if !ok {
+			fatal(fmt.Errorf("problem %q has no reference design", sc.Name))
+		}
+		ckt, nodeset, err = sc.Netlist(x)
+		if err != nil {
+			fatal(err)
+		}
+	case flag.NArg() == 1:
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		ckt, err = netlist.Parse(f, nil)
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		flag.Usage()
 		os.Exit(1)
 	}
-	f, err := os.Open(flag.Arg(0))
-	if err != nil {
-		fatal(err)
-	}
-	defer f.Close()
-	ckt, err := netlist.Parse(f, nil)
-	if err != nil {
-		fatal(err)
-	}
-	eng, err := spice.New(ckt, spice.Options{})
+	eng, err := spice.New(ckt, spice.Options{Nodeset: nodeset})
 	if err != nil {
 		fatal(err)
 	}

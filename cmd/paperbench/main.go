@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"github.com/eda-go/moheco/internal/exp"
+	"github.com/eda-go/moheco/internal/scenario"
 )
 
 func main() {
@@ -35,6 +36,14 @@ func main() {
 		verb   = flag.Bool("v", false, "print per-run progress")
 		csvDir = flag.String("csv", "", "also write per-run CSV files into this directory")
 	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: paperbench [flags]\n\n")
+		flag.PrintDefaults()
+		// The experiments resolve their circuits through the scenario
+		// registry; list it so the mapping from tables to problems is
+		// discoverable.
+		fmt.Fprintf(flag.CommandLine.Output(), "\n%s", scenario.Usage())
+	}
 	flag.Parse()
 
 	cfg := exp.Full()

@@ -1,12 +1,14 @@
 // Command yieldest estimates the Monte-Carlo yield of a given design point
-// on one of the built-in problems and prints the per-spec nominal
+// on one of the registered problems and prints the per-spec nominal
 // performance alongside the statistical estimate.
 //
 // Usage:
 //
-//	yieldest -problem foldedcascode -n 50000 [-seed S] [-workers N] [-x "v1,v2,..."]
+//	yieldest -problem foldedcascode [-n N] [-seed S] [-workers N] [-x "v1,v2,..."]
 //
-// Without -x, the problem's built-in reference design is analyzed.
+// Without -x, the problem's built-in reference design is analyzed; without
+// -n, the problem's default reference sample count is used. Problems come
+// from the scenario registry (-h lists them).
 package main
 
 import (
@@ -18,38 +20,35 @@ import (
 	"time"
 
 	moheco "github.com/eda-go/moheco"
-	"github.com/eda-go/moheco/internal/circuits"
 	"github.com/eda-go/moheco/internal/constraint"
+	"github.com/eda-go/moheco/internal/scenario"
 )
-
-type refProblem interface {
-	moheco.Problem
-	ReferenceDesign() []float64
-}
 
 func main() {
 	var (
-		probName = flag.String("problem", "foldedcascode", "foldedcascode | telescopic | commonsource")
-		n        = flag.Int("n", 50000, "Monte-Carlo samples")
+		probName = flag.String("problem", "foldedcascode", "registered problem name (see -h)")
+		n        = flag.Int("n", 0, "Monte-Carlo samples (0 = problem default)")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		workers  = flag.Int("workers", 0, "evaluation worker goroutines (0 = GOMAXPROCS, 1 = sequential; results are identical)")
 		xFlag    = flag.String("x", "", "comma-separated design vector (default: reference design)")
 	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: yieldest [flags]\n\n")
+		flag.PrintDefaults()
+		fmt.Fprintf(flag.CommandLine.Output(), "\n%s", scenario.Usage())
+	}
 	flag.Parse()
 
-	var p refProblem
-	switch *probName {
-	case "foldedcascode":
-		p = circuits.NewFoldedCascode()
-	case "telescopic":
-		p = circuits.NewTelescopic()
-	case "commonsource":
-		p = circuits.NewCommonSource()
-	default:
-		fatal(fmt.Errorf("unknown problem %q", *probName))
+	sc, err := scenario.Get(*probName)
+	if err != nil {
+		fatal(err)
+	}
+	p := sc.New()
+	if *n <= 0 {
+		*n = sc.DefaultRefSamples
 	}
 
-	x := p.ReferenceDesign()
+	x, hasRef := scenario.ReferenceDesign(p)
 	if *xFlag != "" {
 		parts := strings.Split(*xFlag, ",")
 		if len(parts) != p.Dim() {
@@ -63,6 +62,8 @@ func main() {
 			}
 			x[i] = v
 		}
+	} else if !hasRef {
+		fatal(fmt.Errorf("problem %q has no reference design; pass -x", p.Name()))
 	}
 
 	perf, err := p.Evaluate(x, nil)

@@ -1,0 +1,125 @@
+package circuits
+
+import (
+	"math"
+	"testing"
+
+	"github.com/eda-go/moheco/internal/constraint"
+	"github.com/eda-go/moheco/internal/problem"
+	"github.com/eda-go/moheco/internal/randx"
+	"github.com/eda-go/moheco/internal/sample"
+)
+
+// The batched path (engine reuse + in-place card perturbation + Newton warm
+// start) must classify every sample exactly as the point-wise path does,
+// and agree on the performances to solver tolerance.
+func TestSpiceBatchMatchesPointwise(t *testing.T) {
+	p := NewCommonSourceSpice()
+	x := p.ReferenceDesign()
+	rng := randx.New(7)
+	xis := sample.LHS{}.Draw(rng, 30, p.VarDim())
+
+	batchPerfs, batchErrs := p.EvaluateBatch(x, xis)
+	if len(batchPerfs) != len(xis) || len(batchErrs) != len(xis) {
+		t.Fatalf("batch shape: %d perfs, %d errs for %d samples", len(batchPerfs), len(batchErrs), len(xis))
+	}
+	for i, xi := range xis {
+		perf, err := p.Evaluate(x, xi)
+		if (err == nil) != (batchErrs[i] == nil) {
+			t.Fatalf("sample %d: point-wise err %v, batch err %v", i, err, batchErrs[i])
+		}
+		if err != nil {
+			continue
+		}
+		// Identical pass/fail classification — the quantity the yield
+		// estimate is built from.
+		pw := constraint.AllSatisfied(p.Specs(), perf)
+		bt := constraint.AllSatisfied(p.Specs(), batchPerfs[i])
+		if pw != bt {
+			t.Errorf("sample %d: point-wise pass=%v, batch pass=%v", i, pw, bt)
+		}
+		// Performances agree to solver tolerance (the warm-started Newton
+		// solve stops inside the same 1e-9 voltage tolerance band).
+		for j := range perf {
+			diff := math.Abs(perf[j] - batchPerfs[i][j])
+			scale := math.Max(math.Abs(perf[j]), 1e-12)
+			if diff/scale > 1e-5 {
+				t.Errorf("sample %d perf %d: point-wise %.9g, batch %.9g", i, j, perf[j], batchPerfs[i][j])
+			}
+		}
+	}
+}
+
+// A failing sample inside a batch must not poison the samples after it: the
+// warm chain skips the failure and later samples still classify exactly as
+// point-wise evaluation does.
+func TestSpiceBatchFailedSampleIsolated(t *testing.T) {
+	p := NewCommonSourceSpice()
+	x := p.ReferenceDesign()
+	rng := randx.New(11)
+	xis := sample.LHS{}.Draw(rng, 8, p.VarDim())
+	// Sample 3 is structurally broken (wrong variation dimension): its
+	// evaluation errors, the batch keeps going.
+	xis[3] = xis[3][:p.VarDim()-1]
+
+	perfs, errs := p.EvaluateBatch(x, xis)
+	if errs[3] == nil {
+		t.Fatal("broken sample did not error")
+	}
+	for i, xi := range xis {
+		if i == 3 {
+			continue
+		}
+		perf, err := p.Evaluate(x, xi)
+		if err != nil || errs[i] != nil {
+			t.Fatalf("sample %d errored: point-wise %v, batch %v", i, err, errs[i])
+		}
+		pw := constraint.AllSatisfied(p.Specs(), perf)
+		bt := constraint.AllSatisfied(p.Specs(), perfs[i])
+		if pw != bt {
+			t.Errorf("sample %d after failure: point-wise pass=%v, batch pass=%v", i, pw, bt)
+		}
+	}
+}
+
+// A batch over a broken design reports the compile error on every sample.
+func TestSpiceBatchBrokenDesign(t *testing.T) {
+	p := NewCommonSourceSpice()
+	perfs, errs := p.EvaluateBatch([]float64{1}, [][]float64{nil, nil})
+	if len(perfs) != 2 || len(errs) != 2 {
+		t.Fatalf("batch shape: %d/%d", len(perfs), len(errs))
+	}
+	for i, err := range errs {
+		if err == nil {
+			t.Fatalf("sample %d: broken design did not error", i)
+		}
+	}
+}
+
+// The problem-package adapter must route CommonSourceSpice through the
+// native batch path, and a capability-hiding wrapper through the fallback,
+// with identical pass/fail outcomes.
+func TestSpiceBatchAdapterRouting(t *testing.T) {
+	p := NewCommonSourceSpice()
+	x := p.ReferenceDesign()
+	rng := randx.New(13)
+	xis := sample.LHS{}.Draw(rng, 6, p.VarDim())
+
+	native, nativeErrs, err := problem.PassFailBatch(p, x, xis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hidden := struct{ problem.Problem }{p}
+	fallback, fallbackErrs, err := problem.PassFailBatch(hidden, x, xis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xis {
+		if native[i] != fallback[i] {
+			t.Errorf("sample %d: native %v, fallback %v", i, native[i], fallback[i])
+		}
+		if (nativeErrs[i] == nil) != (fallbackErrs[i] == nil) {
+			t.Errorf("sample %d errors: native %v, fallback %v", i, nativeErrs[i], fallbackErrs[i])
+		}
+	}
+}

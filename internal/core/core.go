@@ -427,7 +427,11 @@ func Optimize(p problem.Problem, opts Options) (*Result, error) {
 		if o.Method == MethodMOHECO && stallLocal >= nmStallNeed && pop[best].fit.Feasible {
 			res.NMTriggers++
 			accepted := false
-			if better := localSearch(p, pop[best], o, counter, ycfg, newCandidate, nominal); better != nil {
+			better, lerr := localSearch(p, pop[best], o, counter, ycfg, newCandidate, nominal)
+			if lerr != nil {
+				return nil, lerr
+			}
+			if better != nil {
 				if constraint.Better(better.fit, pop[best].fit) {
 					pop[best] = better
 					stall = 0
@@ -502,7 +506,9 @@ func Optimize(p problem.Problem, opts Options) (*Result, error) {
 // localSearch runs the Nelder–Mead refinement around the best member
 // (paper §2.4): each evaluation is a nominal feasibility check plus a
 // full-budget yield estimate, so the operator is kept short and is only
-// worth triggering when DE has stalled.
+// worth triggering when DE has stalled. A non-nil error is a simulator
+// failure (a broken batch pipeline, not a failed sample) and aborts the
+// optimization instead of being silently folded into the fitness.
 func localSearch(
 	p problem.Problem,
 	bestM *member,
@@ -511,7 +517,7 @@ func localSearch(
 	ycfg yieldsim.Config,
 	newCandidate func([]float64) *yieldsim.Candidate,
 	nominal func([]float64) constraint.Fitness,
-) *member {
+) (*member, error) {
 	lo, hi := p.Bounds()
 	type evalRec struct {
 		x    []float64
@@ -528,7 +534,13 @@ func localSearch(
 		probeSims = o.SimAve
 	}
 	var evals []evalRec
+	var evalErr error
 	obj := func(x []float64) float64 {
+		if evalErr != nil {
+			// The probe pipeline already failed; stop spending simulations
+			// and let the caller see the recorded error.
+			return 2
+		}
 		fit := nominal(x)
 		rec := evalRec{x: append([]float64(nil), x...), fit: fit}
 		if !fit.Feasible {
@@ -540,6 +552,7 @@ func localSearch(
 		cand := newCandidate(x)
 		cand.SetWorkers(o.Workers)
 		if err := cand.AddSamples(probeSims); err != nil {
+			evalErr = fmt.Errorf("core: memetic probe at %v: %w", x, err)
 			return 2
 		}
 		rec.cand = cand
@@ -553,6 +566,9 @@ func localSearch(
 		Lo:      lo,
 		Hi:      hi,
 	})
+	if evalErr != nil {
+		return nil, evalErr
+	}
 	// Find the evaluation record matching the returned point and verify it
 	// at stage-2 accuracy before offering it back to the population.
 	for i := range evals {
@@ -560,14 +576,14 @@ func localSearch(
 			e := evals[i]
 			if e.cand != nil {
 				if err := e.cand.EnsureSamples(o.MaxSims); err != nil {
-					return nil
+					return nil, err
 				}
 				e.fit.Yield = e.cand.Yield()
 			}
-			return &member{x: e.x, fit: e.fit, cand: e.cand}
+			return &member{x: e.x, fit: e.fit, cand: e.cand}, nil
 		}
 	}
-	return nil
+	return nil, nil
 }
 
 func sameVec(a, b []float64) bool {

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"io"
 
-	"github.com/eda-go/moheco/internal/circuits"
 	"github.com/eda-go/moheco/internal/core"
 	"github.com/eda-go/moheco/internal/engine"
 	"github.com/eda-go/moheco/internal/randx"
@@ -52,7 +51,7 @@ type AblationResult struct {
 
 // RunAblation executes every variant on example 1 for cfg.Runs repetitions.
 func RunAblation(cfg Config) (*AblationResult, error) {
-	p := circuits.NewFoldedCascode()
+	p := scenarioProblem("foldedcascode")
 	out := &AblationResult{Problem: p.Name(), Runs: cfg.Runs}
 	inner := engine.Split(cfg.Workers, cfg.Runs)
 	progress := cfg.progressWriter()

@@ -12,12 +12,13 @@ import (
 	"math"
 	"sync"
 
-	"github.com/eda-go/moheco/internal/circuits"
+	_ "github.com/eda-go/moheco/internal/circuits" // register the built-in scenarios
 	"github.com/eda-go/moheco/internal/core"
 	"github.com/eda-go/moheco/internal/engine"
 	"github.com/eda-go/moheco/internal/problem"
 	"github.com/eda-go/moheco/internal/randx"
 	"github.com/eda-go/moheco/internal/rsb"
+	"github.com/eda-go/moheco/internal/scenario"
 	"github.com/eda-go/moheco/internal/stats"
 	"github.com/eda-go/moheco/internal/yieldsim"
 )
@@ -242,15 +243,22 @@ func (t *TableResult) RenderSims(w io.Writer) {
 	}
 }
 
+// scenarioProblem resolves one of the harness's fixed workloads through
+// the scenario registry — the same lookup the command-line tools use, so
+// the harness exercises exactly the problems a `-problem` flag reaches.
+func scenarioProblem(name string) problem.Problem {
+	return scenario.MustGet(name).New()
+}
+
 // Table1and2 runs the example-1 experiment behind Tables 1 and 2.
 func Table1and2(cfg Config) (*TableResult, error) {
-	return RunTable("Tables 1-2", circuits.NewFoldedCascode(), Example1Methods(), cfg)
+	return RunTable("Tables 1-2", scenarioProblem("foldedcascode"), Example1Methods(), cfg)
 }
 
 // Table3and4 runs the example-2 experiment behind Tables 3 and 4.
 func Table3and4(cfg Config) (*TableResult, error) {
 	cfg.MaxGens = max(cfg.MaxGens, 250)
-	return RunTable("Tables 3-4", circuits.NewTelescopic(), Example2Methods(), cfg)
+	return RunTable("Tables 3-4", scenarioProblem("telescopic"), Example2Methods(), cfg)
 }
 
 // RenderFig6 prints the two series of Fig. 6 (average deviation and average
@@ -267,7 +275,7 @@ func RenderFig6(t *TableResult, w io.Writer) {
 // train the NN response surface incrementally and measure next-iteration
 // prediction error.
 func RunRSB(cfg Config) (*rsb.Result, error) {
-	p := circuits.NewFoldedCascode()
+	p := scenarioProblem("foldedcascode")
 	opts := core.DefaultOptions(core.MethodMOHECO, 500)
 	opts.Seed = randx.DeriveSeed(cfg.Seed, 0x5b)
 	opts.MaxGenerations = cfg.MaxGens

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"io"
 
-	"github.com/eda-go/moheco/internal/circuits"
 	"github.com/eda-go/moheco/internal/core"
 	"github.com/eda-go/moheco/internal/randx"
 )
@@ -34,7 +33,7 @@ type Fig3Result struct {
 // RunFig3 runs a MOHECO optimization on example 1 and extracts the most
 // yield-diverse population snapshot — the paper's "typical population".
 func RunFig3(cfg Config) (*Fig3Result, error) {
-	p := circuits.NewFoldedCascode()
+	p := scenarioProblem("foldedcascode")
 	opts := core.DefaultOptions(core.MethodMOHECO, 500)
 	opts.Seed = randx.DeriveSeed(cfg.Seed, 0xf13)
 	opts.MaxGenerations = cfg.MaxGens

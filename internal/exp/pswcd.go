@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"io"
 
-	"github.com/eda-go/moheco/internal/circuits"
 	"github.com/eda-go/moheco/internal/core"
 	"github.com/eda-go/moheco/internal/corners"
 	"github.com/eda-go/moheco/internal/pdk"
@@ -35,7 +34,7 @@ type PSWCDResult struct {
 // RunPSWCD runs both flows on example 1 and scores them with the reference
 // estimator.
 func RunPSWCD(cfg Config) (*PSWCDResult, error) {
-	p := circuits.NewFoldedCascode()
+	p := scenarioProblem("foldedcascode")
 	tech := pdk.C035()
 	gen := &corners.Generator{Sigma: 3, InterDim: len(tech.Inter)}
 	nSel := func(i int) bool {

@@ -2,6 +2,7 @@ package linalg
 
 import (
 	"errors"
+	"math"
 	"math/cmplx"
 )
 
@@ -40,66 +41,90 @@ func (m *CMatrix) Clone() *CMatrix {
 	return c
 }
 
+// cabs1 is the pivot-selection magnitude |re| + |im| — LAPACK's cabs1, a
+// factor-√2 approximation of the modulus that avoids a hypot (square root)
+// per candidate element on the AC sweep's hot path.
+func cabs1(v complex128) float64 {
+	return math.Abs(real(v)) + math.Abs(imag(v))
+}
+
 // CSolve solves the complex system a x = b by LU with partial pivoting.
 // The input matrix is modified in place (callers pass scratch copies).
 func CSolve(a *CMatrix, b []complex128) ([]complex128, error) {
+	x := append([]complex128(nil), b...)
+	if err := CSolveInPlace(a, x); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// CSolveInPlace solves a x = b destructively: a is overwritten with its LU
+// factors and b with the solution — the allocation-free core of CSolve,
+// used by the AC sweep where one solve runs per frequency point.
+func CSolveInPlace(a *CMatrix, x []complex128) error {
 	if a.Rows != a.Cols {
-		return nil, errors.New("linalg: CSolve of non-square matrix")
+		return errors.New("linalg: CSolve of non-square matrix")
 	}
 	n := a.Rows
-	if len(b) != n {
-		return nil, errors.New("linalg: rhs length mismatch")
+	if len(x) != n {
+		return errors.New("linalg: rhs length mismatch")
 	}
-	x := make([]complex128, n)
-	copy(x, b)
-	piv := make([]int, n)
-	for i := range piv {
-		piv[i] = i
-	}
+	d := a.Data
 	for k := 0; k < n; k++ {
-		p, max := k, cmplx.Abs(a.At(k, k))
+		p, max := k, cabs1(d[k*n+k])
 		for i := k + 1; i < n; i++ {
-			if v := cmplx.Abs(a.At(i, k)); v > max {
+			if v := cabs1(d[i*n+k]); v > max {
 				p, max = i, v
 			}
 		}
-		if max == 0 {
-			return nil, ErrSingular
+		if max == 0 || math.IsNaN(max) {
+			return ErrSingular
 		}
+		rowK := d[k*n : (k+1)*n]
 		if p != k {
-			rowP := a.Data[p*n : (p+1)*n]
-			rowK := a.Data[k*n : (k+1)*n]
+			rowP := d[p*n : (p+1)*n]
 			for j := 0; j < n; j++ {
 				rowP[j], rowK[j] = rowK[j], rowP[j]
 			}
 			x[p], x[k] = x[k], x[p]
 		}
-		pivot := a.At(k, k)
+		// One reciprocal per pivot column; the multipliers then cost a
+		// complex multiply instead of Go's (much slower) robust division.
+		// A subnormal pivot overflows the reciprocal — fall back to robust
+		// per-element division for that column instead of spreading Inf.
+		pivot := rowK[k]
+		inv := 1 / pivot
+		useInv := !cmplx.IsInf(inv)
+		xk := x[k]
 		for i := k + 1; i < n; i++ {
-			m := a.At(i, k) / pivot
+			rowI := d[i*n : (i+1)*n]
+			var m complex128
+			if useInv {
+				m = rowI[k] * inv
+			} else {
+				m = rowI[k] / pivot
+			}
 			if m == 0 {
 				continue
 			}
-			a.Set(i, k, 0)
-			rowI := a.Data[i*n : (i+1)*n]
-			rowK := a.Data[k*n : (k+1)*n]
+			rowI[k] = 0
 			for j := k + 1; j < n; j++ {
 				rowI[j] -= m * rowK[j]
 			}
-			x[i] -= m * x[k]
+			x[i] -= m * xk
 		}
 	}
 	for i := n - 1; i >= 0; i-- {
-		row := a.Data[i*n : (i+1)*n]
+		row := d[i*n : (i+1)*n]
 		s := x[i]
 		for j := i + 1; j < n; j++ {
 			s -= row[j] * x[j]
 		}
-		d := row[i]
-		if d == 0 {
-			return nil, ErrSingular
+		piv := row[i]
+		if piv == 0 {
+			return ErrSingular
 		}
-		x[i] = s / d
+		x[i] = s / piv
 	}
-	return x, nil
+	return nil
 }

@@ -340,3 +340,52 @@ func TestLowerMulVec(t *testing.T) {
 		}
 	}
 }
+
+// SolveInPlace must produce bit-identical solutions to Factor + Solve: the
+// spice Newton loop relies on that to keep scratch reuse observationally
+// invisible.
+func TestSolveInPlaceMatchesSolveSystem(t *testing.T) {
+	rng := uint64(0x9e3779b97f4a7c15)
+	next := func() float64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return float64(int64(rng%2000)-1000) / 250
+	}
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + trial%7
+		a := NewMatrix(n, n)
+		b := make([]float64, n)
+		for i := 0; i < n; i++ {
+			b[i] = next()
+			for j := 0; j < n; j++ {
+				a.Set(i, j, next())
+			}
+			a.Set(i, i, a.At(i, i)+float64(n)) // diagonally dominate: nonsingular
+		}
+		want, err := SolveSystem(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := append([]float64(nil), b...)
+		if err := SolveInPlace(a.Clone(), got); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d x[%d]: in-place %.17g vs system %.17g", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSolveInPlaceSingular(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 4)
+	if err := SolveInPlace(a, []float64{1, 1}); err == nil {
+		t.Fatal("singular system not reported")
+	}
+}

@@ -1,0 +1,142 @@
+package problem
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/eda-go/moheco/internal/constraint"
+)
+
+// toyProblem is a minimal point-wise problem: one performance equal to
+// x[0] + xi[0], spec "perf ≥ 0". A xi[0] of exactly -1e9 injects a
+// per-sample failure.
+type toyProblem struct{}
+
+func (toyProblem) Name() string               { return "toy" }
+func (toyProblem) Dim() int                   { return 1 }
+func (toyProblem) Bounds() (lo, hi []float64) { return []float64{-1}, []float64{1} }
+func (toyProblem) VarDim() int                { return 1 }
+func (toyProblem) Specs() []constraint.Spec {
+	return []constraint.Spec{{Name: "perf", Sense: constraint.AtLeast, Bound: 0}}
+}
+func (toyProblem) Evaluate(x, xi []float64) ([]float64, error) {
+	v := x[0]
+	if xi != nil {
+		if xi[0] == -1e9 {
+			return nil, errors.New("toy: injected sample failure")
+		}
+		v += xi[0]
+	}
+	return []float64{v}, nil
+}
+
+// toyBatch adds a native batch path that shifts every result by bias — so
+// tests can tell which path ran — and can return mis-shaped batches.
+type toyBatch struct {
+	toyProblem
+	bias      float64
+	misshapen bool
+	calls     int
+}
+
+func (b *toyBatch) EvaluateBatch(x []float64, xis [][]float64) ([][]float64, []error) {
+	b.calls++
+	if b.misshapen {
+		return make([][]float64, len(xis)+1), make([]error, len(xis))
+	}
+	perfs := make([][]float64, len(xis))
+	errs := make([]error, len(xis))
+	for i, xi := range xis {
+		perfs[i], errs[i] = b.Evaluate(x, xi)
+		if errs[i] == nil {
+			perfs[i][0] += b.bias
+		}
+	}
+	return perfs, errs
+}
+
+func TestEvaluateBatchFallbackMatchesPointwise(t *testing.T) {
+	p := toyProblem{}
+	x := []float64{0.25}
+	xis := [][]float64{{0.5}, {-0.5}, {-1e9}, {0}}
+	perfs, errs, err := EvaluateBatch(p, x, xis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, xi := range xis {
+		want, wantErr := p.Evaluate(x, xi)
+		if (errs[i] == nil) != (wantErr == nil) {
+			t.Fatalf("sample %d: batch err %v, point-wise err %v", i, errs[i], wantErr)
+		}
+		if wantErr != nil {
+			continue
+		}
+		if perfs[i][0] != want[0] {
+			t.Errorf("sample %d: batch %v, point-wise %v", i, perfs[i], want)
+		}
+	}
+}
+
+func TestEvaluateBatchUsesNativePath(t *testing.T) {
+	b := &toyBatch{bias: 100}
+	perfs, errs, err := EvaluateBatch(b, []float64{0}, [][]float64{{1}, {2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.calls != 1 {
+		t.Fatalf("native batch called %d times, want 1", b.calls)
+	}
+	for i, perf := range perfs {
+		if errs[i] != nil || perf[0] < 100 {
+			t.Fatalf("sample %d: native path not taken (perf %v, err %v)", i, perf, errs[i])
+		}
+	}
+}
+
+func TestEvaluateBatchRejectsMisshapenBatch(t *testing.T) {
+	b := &toyBatch{misshapen: true}
+	if _, _, err := EvaluateBatch(b, []float64{0}, [][]float64{{1}, {2}}); err == nil {
+		t.Fatal("mis-shaped batch result not rejected")
+	}
+}
+
+func TestPassFailBatch(t *testing.T) {
+	p := toyProblem{}
+	x := []float64{0}
+	xis := [][]float64{{1}, {-1}, {-1e9}}
+	pass, errs, err := PassFailBatch(p, x, xis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pass[0] || pass[1] || pass[2] {
+		t.Fatalf("pass = %v, want [true false false]", pass)
+	}
+	if errs[2] == nil {
+		t.Fatal("injected failure lost its error")
+	}
+	// Batch indicators must agree with the point-wise PassFail reduction.
+	for i, xi := range xis {
+		want, _ := PassFail(p, x, xi)
+		if pass[i] != want {
+			t.Errorf("sample %d: batch %v, point-wise %v", i, pass[i], want)
+		}
+	}
+}
+
+// Hiding the capability behind a plain Problem value must select the
+// fallback: the adapter dispatches on the dynamic type, so a wrapper
+// embedding the interface (not the concrete type) disables the fast path.
+func TestEvaluateBatchCapabilityHiding(t *testing.T) {
+	b := &toyBatch{bias: 100}
+	wrapped := struct{ Problem }{b}
+	perfs, _, err := EvaluateBatch(wrapped, []float64{0}, [][]float64{{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.calls != 0 {
+		t.Fatal("wrapper leaked the batch capability")
+	}
+	if perfs[0][0] != 1 {
+		t.Fatalf("fallback result %v, want [1]", perfs[0])
+	}
+}

@@ -32,6 +32,79 @@ type Problem interface {
 	Evaluate(x, xi []float64) ([]float64, error)
 }
 
+// BatchEvaluator is the optional fast-path capability of a Problem: evaluate
+// one design under a whole batch of variation vectors in a single call.
+// Implementations amortize per-design setup (netlist construction, simulator
+// state, solver warm starts) across the batch, which is where the
+// simulator-in-the-loop path recovers the cost the paper's flow pays per
+// HSPICE run.
+//
+// The contract mirrors Evaluate sample by sample: the returned slices have
+// len(xis) entries, perfs[i] aligns to Specs(), and errs[i] non-nil marks
+// sample i as failed exactly as a point-wise Evaluate error would. A batch
+// call must be deterministic given (x, xis) — per-sample results must not
+// depend on the worker pool or on how callers partition their sample plans
+// beyond the boundaries of the batch itself. Implementations may carry
+// solver state from sample i to sample i+1 (e.g. Newton warm starts) only
+// if a carried-state solve converges to the same pass/fail outcome a cold
+// solve would reach. In particular, circuits with multiple DC solutions
+// (bistable topologies) must not warm-start across samples — a carried
+// operating point can pull the solve into a different basin than the cold
+// start the point-wise fallback uses, silently breaking the batched-vs-
+// fallback equivalence; only monostable circuits qualify for that
+// optimization.
+type BatchEvaluator interface {
+	Problem
+	// EvaluateBatch evaluates design x under every variation vector of the
+	// batch and returns per-sample performances and errors, both of
+	// len(xis).
+	EvaluateBatch(x []float64, xis [][]float64) ([][]float64, []error)
+}
+
+// EvaluateBatch evaluates one design under a batch of variation vectors,
+// taking the problem's native batch path when it implements BatchEvaluator
+// and falling back to a point-wise Evaluate loop otherwise — the generic
+// adapter that lets every consumer hand whole batches down unconditionally.
+// perfs and errs are per-sample (errs[i] non-nil marks sample i failed,
+// exactly like a point-wise Evaluate error); the final error is structural —
+// a batch implementation returning mis-shaped results — and means the
+// per-sample slices cannot be trusted.
+func EvaluateBatch(p Problem, x []float64, xis [][]float64) (perfs [][]float64, errs []error, err error) {
+	if b, ok := p.(BatchEvaluator); ok {
+		perfs, errs = b.EvaluateBatch(x, xis)
+		if len(perfs) != len(xis) || len(errs) != len(xis) {
+			return nil, nil, fmt.Errorf("problem %s: batch of %d samples returned %d performances and %d errors",
+				p.Name(), len(xis), len(perfs), len(errs))
+		}
+		return perfs, errs, nil
+	}
+	perfs = make([][]float64, len(xis))
+	errs = make([]error, len(xis))
+	for i, xi := range xis {
+		perfs[i], errs[i] = p.Evaluate(x, xi)
+	}
+	return perfs, errs, nil
+}
+
+// PassFailBatch reduces a whole batch to the paper's per-sample indicator
+// J(x, ξ) ∈ {0, 1}. Per-sample errors are reported alongside (pass[i] is
+// false whenever errs[i] is non-nil); the final error is structural, as in
+// EvaluateBatch.
+func PassFailBatch(p Problem, x []float64, xis [][]float64) (pass []bool, errs []error, err error) {
+	perfs, errs, err := EvaluateBatch(p, x, xis)
+	if err != nil {
+		return nil, nil, err
+	}
+	specs := p.Specs()
+	pass = make([]bool, len(xis))
+	for i := range xis {
+		if errs[i] == nil {
+			pass[i] = constraint.AllSatisfied(specs, perfs[i])
+		}
+	}
+	return pass, errs, nil
+}
+
 // CheckDesign validates x against the problem's bounds.
 func CheckDesign(p Problem, x []float64) error {
 	if len(x) != p.Dim() {

@@ -1,0 +1,137 @@
+// Package scenario is the registry of named yield-optimization workloads.
+// A scenario bundles everything a tool needs to run a problem by name — a
+// constructor, the reference design, default simulation budgets and, when
+// the circuit has one, a transistor-level testbench netlist — so command-
+// line tools resolve `-problem NAME` through one lookup instead of each
+// maintaining its own switch, and a new circuit becomes available to every
+// tool by registering itself in one file (see internal/circuits/register.go).
+package scenario
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/eda-go/moheco/internal/netlist"
+	"github.com/eda-go/moheco/internal/problem"
+)
+
+// Scenario describes one registered workload.
+type Scenario struct {
+	// Name is the registry key (`-problem NAME`).
+	Name string
+	// Summary is the one-line description shown in usage tables.
+	Summary string
+	// New constructs a fresh problem instance.
+	New func() problem.Problem
+	// DefaultMaxSims is the stage-2 / per-candidate sample budget the
+	// paper's flow uses on this workload.
+	DefaultMaxSims int
+	// DefaultRefSamples is the reference Monte-Carlo sample count —
+	// smaller for simulator-in-the-loop workloads where each sample runs
+	// the MNA engine.
+	DefaultRefSamples int
+	// Netlist, when non-nil, builds the scenario's transistor-level
+	// testbench at design x, with an optional nodeset (initial node
+	// voltages) helping the DC solve.
+	Netlist func(x []float64) (*netlist.Circuit, map[string]float64, error)
+}
+
+var (
+	mu       sync.RWMutex
+	registry = map[string]Scenario{}
+)
+
+// Register adds a scenario to the registry. It panics on an empty name, a
+// nil constructor or a duplicate registration — all programming errors in
+// an init function, not runtime conditions.
+func Register(s Scenario) {
+	if s.Name == "" {
+		panic("scenario: registered with empty name")
+	}
+	if s.New == nil {
+		panic(fmt.Sprintf("scenario %q: registered without constructor", s.Name))
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if _, dup := registry[s.Name]; dup {
+		panic(fmt.Sprintf("scenario %q: registered twice", s.Name))
+	}
+	registry[s.Name] = s
+}
+
+// Get resolves a scenario by name. The error lists the registered names, so
+// a tool's "unknown problem" message is self-serving.
+func Get(name string) (Scenario, error) {
+	mu.RLock()
+	s, ok := registry[name]
+	mu.RUnlock()
+	if !ok {
+		return Scenario{}, fmt.Errorf("scenario: unknown problem %q (registered: %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	return s, nil
+}
+
+// MustGet is Get for callers whose scenario names are compile-time
+// constants (the experiment harness); it panics on an unknown name.
+func MustGet(name string) Scenario {
+	s, err := Get(name)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Names returns the registered names, sorted.
+func Names() []string {
+	mu.RLock()
+	defer mu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// List returns the registered scenarios sorted by name.
+func List() []Scenario {
+	mu.RLock()
+	defer mu.RUnlock()
+	out := make([]Scenario, 0, len(registry))
+	for _, s := range registry {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ReferenceDesign returns p's built-in reference sizing when it exposes
+// one (every registered circuit does).
+func ReferenceDesign(p problem.Problem) ([]float64, bool) {
+	if r, ok := p.(interface{ ReferenceDesign() []float64 }); ok {
+		return r.ReferenceDesign(), true
+	}
+	return nil, false
+}
+
+// WriteUsage renders the registry as a `-problem` usage table — the block
+// each command appends to its -h output.
+func WriteUsage(w io.Writer) {
+	fmt.Fprintf(w, "registered problems (-problem):\n")
+	for _, s := range List() {
+		p := s.New()
+		fmt.Fprintf(w, "  %-20s %s (%d design vars, %d variation vars)\n",
+			s.Name, s.Summary, p.Dim(), p.VarDim())
+	}
+}
+
+// Usage returns WriteUsage's table as a string, for flag.Usage closures.
+func Usage() string {
+	var b strings.Builder
+	WriteUsage(&b)
+	return b.String()
+}

@@ -1,0 +1,89 @@
+package scenario_test
+
+import (
+	"strings"
+	"testing"
+
+	_ "github.com/eda-go/moheco/internal/circuits" // register the built-in scenarios
+	"github.com/eda-go/moheco/internal/problem"
+	"github.com/eda-go/moheco/internal/scenario"
+)
+
+func TestRegistryHasBuiltinScenarios(t *testing.T) {
+	for _, name := range []string{"foldedcascode", "telescopic", "commonsource", "commonsource-spice"} {
+		s, err := scenario.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := s.New()
+		if p.Name() == "" || p.Dim() <= 0 || p.VarDim() <= 0 {
+			t.Errorf("%s: malformed problem %q dim=%d vardim=%d", name, p.Name(), p.Dim(), p.VarDim())
+		}
+		if s.DefaultMaxSims <= 0 || s.DefaultRefSamples <= 0 {
+			t.Errorf("%s: missing default budgets (%d, %d)", name, s.DefaultMaxSims, s.DefaultRefSamples)
+		}
+		x, ok := scenario.ReferenceDesign(p)
+		if !ok || len(x) != p.Dim() {
+			t.Errorf("%s: reference design missing or mis-sized (%d vs dim %d)", name, len(x), p.Dim())
+		}
+		if err := problem.CheckDesign(p, x); err != nil {
+			t.Errorf("%s: reference design outside bounds: %v", name, err)
+		}
+	}
+}
+
+func TestGetUnknownListsNames(t *testing.T) {
+	_, err := scenario.Get("no-such-problem")
+	if err == nil {
+		t.Fatal("unknown scenario did not error")
+	}
+	if !strings.Contains(err.Error(), "foldedcascode") {
+		t.Errorf("error does not list registered names: %v", err)
+	}
+}
+
+func TestNamesSortedAndListAligned(t *testing.T) {
+	names := scenario.Names()
+	list := scenario.List()
+	if len(names) != len(list) || len(names) < 4 {
+		t.Fatalf("names/list mismatch: %d vs %d", len(names), len(list))
+	}
+	for i := range names {
+		if i > 0 && names[i-1] >= names[i] {
+			t.Errorf("names not sorted: %q before %q", names[i-1], names[i])
+		}
+		if list[i].Name != names[i] {
+			t.Errorf("list[%d] = %q, names[%d] = %q", i, list[i].Name, i, names[i])
+		}
+	}
+}
+
+func TestUsageMentionsEveryScenario(t *testing.T) {
+	usage := scenario.Usage()
+	for _, name := range scenario.Names() {
+		if !strings.Contains(usage, name) {
+			t.Errorf("usage table misses %q:\n%s", name, usage)
+		}
+	}
+}
+
+func TestNetlistBuildersRunAtReference(t *testing.T) {
+	for _, s := range scenario.List() {
+		if s.Netlist == nil {
+			continue
+		}
+		p := s.New()
+		x, ok := scenario.ReferenceDesign(p)
+		if !ok {
+			t.Fatalf("%s: netlist without reference design", s.Name)
+		}
+		ckt, _, err := s.Netlist(x)
+		if err != nil {
+			t.Errorf("%s: netlist build failed: %v", s.Name, err)
+			continue
+		}
+		if err := ckt.Validate(); err != nil {
+			t.Errorf("%s: netlist invalid: %v", s.Name, err)
+		}
+	}
+}

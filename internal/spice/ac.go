@@ -45,25 +45,50 @@ func LogSpace(fStart, fStop float64, perDecade int) []float64 {
 // AC performs a small-signal sweep at the operating point op. MOSFETs are
 // linearized with gm, gds, gmb and their capacitances; capacitors become
 // jωC; AC sources drive the system.
+//
+// The linearized MNA system is affine in frequency — Y(ω) = G + jω·C with a
+// frequency-independent right-hand side — so the devices are evaluated and
+// stamped into the real G and C parts once per sweep, and each frequency
+// point only assembles the complex matrix from them and solves. On the
+// simulator-in-the-loop sample path this removes the per-point device
+// relinearization that used to dominate the sweep.
 func (e *Engine) AC(op *OPResult, freqs []float64) (*ACResult, error) {
 	n := e.size
 	res := &ACResult{Freqs: freqs, V: make([][]complex128, len(freqs))}
-	Y := linalg.NewCMatrix(n, n)
-	rhs := make([]complex128, n)
+	if e.acG == nil {
+		// AC scratch, allocated on the first sweep and reused for the
+		// engine's lifetime (one engine serves a whole sample batch).
+		e.acG = linalg.NewMatrix(n, n)
+		e.acC = linalg.NewMatrix(n, n)
+		e.acY = linalg.NewCMatrix(n, n)
+		e.acRHS = make([]complex128, n)
+		e.acX = make([]complex128, n)
+	}
+	G, C, Y := e.acG, e.acC, e.acY
+	G.Zero()
+	C.Zero()
+	rhs0 := e.acRHS
+	for i := range rhs0 {
+		rhs0[i] = 0
+	}
+	e.stampACParts(G, C, rhs0, op)
 
+	// One flat backing array for the whole sweep instead of one slice per
+	// frequency point.
+	nodes := e.ckt.NumNodes()
+	backing := make([]complex128, len(freqs)*nodes)
+	x := e.acX
 	for k, f := range freqs {
 		omega := 2 * math.Pi * f
-		Y.Zero()
-		for i := range rhs {
-			rhs[i] = 0
+		for i := range Y.Data {
+			Y.Data[i] = complex(G.Data[i], omega*C.Data[i])
 		}
-		e.stampAC(Y, rhs, op, omega)
-		x, err := linalg.CSolve(Y, rhs)
-		if err != nil {
+		copy(x, rhs0)
+		if err := linalg.CSolveInPlace(Y, x); err != nil {
 			return nil, fmt.Errorf("spice: AC solve at %g Hz: %w", f, err)
 		}
-		vk := make([]complex128, e.ckt.NumNodes())
-		for i := 1; i < e.ckt.NumNodes(); i++ {
+		vk := backing[k*nodes : (k+1)*nodes]
+		for i := 1; i < nodes; i++ {
 			vk[i] = x[row(i)]
 		}
 		res.V[k] = vk
@@ -71,39 +96,54 @@ func (e *Engine) AC(op *OPResult, freqs []float64) (*ACResult, error) {
 	return res, nil
 }
 
-// stampAC fills the complex MNA matrix at angular frequency omega.
-func (e *Engine) stampAC(Y *linalg.CMatrix, rhs []complex128, op *OPResult, omega float64) {
-	addY := func(r, c int, y complex128) {
+// stampACParts fills the frequency-independent split of the small-signal
+// system: conductances (and source couplings) into G, capacitances into C —
+// the ω factor is applied at assembly — and the AC drive into rhs.
+func (e *Engine) stampACParts(G, C *linalg.Matrix, rhs []complex128, op *OPResult) {
+	addG := func(r, c int, g float64) {
 		if r >= 0 && c >= 0 {
-			Y.Add(r, c, y)
+			G.Add(r, c, g)
 		}
 	}
-	stampAdmittance := func(n1, n2 int, y complex128) {
+	stampConductance := func(n1, n2 int, g float64) {
 		r1, r2 := row(n1), row(n2)
-		addY(r1, r1, y)
-		addY(r2, r2, y)
-		addY(r1, r2, -y)
-		addY(r2, r1, -y)
+		addG(r1, r1, g)
+		addG(r2, r2, g)
+		addG(r1, r2, -g)
+		addG(r2, r1, -g)
+	}
+	stampCap := func(n1, n2 int, c float64) {
+		r1, r2 := row(n1), row(n2)
+		if r1 >= 0 {
+			C.Add(r1, r1, c)
+		}
+		if r2 >= 0 {
+			C.Add(r2, r2, c)
+		}
+		if r1 >= 0 && r2 >= 0 {
+			C.Add(r1, r2, -c)
+			C.Add(r2, r1, -c)
+		}
 	}
 	stampGm := func(out1, out2, cp, cn int, gm float64) {
 		// Current gm·(v(cp)-v(cn)) flows out of node out1 into out2.
-		addY(row(out1), row(cp), complex(gm, 0))
-		addY(row(out1), row(cn), complex(-gm, 0))
-		addY(row(out2), row(cp), complex(-gm, 0))
-		addY(row(out2), row(cn), complex(gm, 0))
+		addG(row(out1), row(cp), gm)
+		addG(row(out1), row(cn), -gm)
+		addG(row(out2), row(cp), -gm)
+		addG(row(out2), row(cn), gm)
 	}
 	// Tiny conductance to ground keeps floating nodes solvable.
 	for i := 0; i < e.nNodes; i++ {
-		Y.Add(i, i, complex(e.opts.GminFinal, 0))
+		G.Add(i, i, e.opts.GminFinal)
 	}
 
 	branchIdx := 0
 	for _, d := range e.ckt.Devices {
 		switch t := d.(type) {
 		case *netlist.Resistor:
-			stampAdmittance(t.N1, t.N2, complex(1/t.R, 0))
+			stampConductance(t.N1, t.N2, 1/t.R)
 		case *netlist.Capacitor:
-			stampAdmittance(t.N1, t.N2, complex(0, omega*t.C))
+			stampCap(t.N1, t.N2, t.C)
 		case *netlist.ISource:
 			if t.ACMag != 0 {
 				// AC current NP -> NN through source.
@@ -118,20 +158,20 @@ func (e *Engine) stampAC(Y *linalg.CMatrix, rhs []complex128, op *OPResult, omeg
 			stampGm(t.NP, t.NN, t.NCP, t.NCN, t.Gm)
 		case *netlist.VSource:
 			bi := e.nNodes + branchIdx
-			addY(row(t.NP), bi, 1)
-			addY(row(t.NN), bi, -1)
-			addY(bi, row(t.NP), 1)
-			addY(bi, row(t.NN), -1)
+			addG(row(t.NP), bi, 1)
+			addG(row(t.NN), bi, -1)
+			addG(bi, row(t.NP), 1)
+			addG(bi, row(t.NN), -1)
 			rhs[bi] = complex(t.ACMag, 0)
 			branchIdx++
 		case *netlist.VCVS:
 			bi := e.nNodes + branchIdx
-			addY(row(t.NP), bi, 1)
-			addY(row(t.NN), bi, -1)
-			addY(bi, row(t.NP), 1)
-			addY(bi, row(t.NN), -1)
-			addY(bi, row(t.NCP), complex(-t.Gain, 0))
-			addY(bi, row(t.NCN), complex(t.Gain, 0))
+			addG(row(t.NP), bi, 1)
+			addG(row(t.NN), bi, -1)
+			addG(bi, row(t.NP), 1)
+			addG(bi, row(t.NN), -1)
+			addG(bi, row(t.NCP), -t.Gain)
+			addG(bi, row(t.NCN), t.Gain)
 			branchIdx++
 		case *netlist.Mosfet:
 			mop, swapped := evalMosfetAtOP(t, op)
@@ -143,11 +183,11 @@ func (e *Engine) stampAC(Y *linalg.CMatrix, rhs []complex128, op *OPResult, omeg
 			// NMOS and PMOS in the circuit frame).
 			stampGm(dN, sN, gN, sN, mop.Gm)
 			stampGm(dN, sN, bN, sN, mop.Gmb)
-			stampAdmittance(dN, sN, complex(mop.Gds, 0))
-			stampAdmittance(gN, sN, complex(0, omega*mop.Cgs))
-			stampAdmittance(gN, dN, complex(0, omega*mop.Cgd))
-			stampAdmittance(dN, bN, complex(0, omega*mop.Cdb))
-			stampAdmittance(sN, bN, complex(0, omega*mop.Csb))
+			stampConductance(dN, sN, mop.Gds)
+			stampCap(gN, sN, mop.Cgs)
+			stampCap(gN, dN, mop.Cgd)
+			stampCap(dN, bN, mop.Cdb)
+			stampCap(sN, bN, mop.Csb)
 		}
 	}
 }

@@ -60,7 +60,12 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Engine simulates one circuit.
+// Engine simulates one circuit. An Engine owns scratch buffers reused
+// across Newton iterations and across successive solves, so a single Engine
+// is NOT safe for concurrent use — callers that fan out across goroutines
+// build one engine per goroutine. Reusing one engine for a whole batch of
+// solves on the same topology (the batch evaluation pipeline's per-design
+// context) is exactly what the scratch reuse is for.
 type Engine struct {
 	ckt  *netlist.Circuit
 	opts Options
@@ -68,6 +73,21 @@ type Engine struct {
 	nNodes   int // unknown node voltages (excluding ground)
 	branches []branch
 	size     int // nNodes + len(branches)
+
+	// Newton scratch, sized once in New: Jacobian, residual, step/RHS and
+	// the node-voltage view consumed by the device models.
+	scrJ  *linalg.Matrix
+	scrF  []float64
+	scrDX []float64
+	scrV  []float64
+
+	// AC scratch, allocated lazily on the first AC call: the
+	// frequency-independent G/C split, the assembled complex system and
+	// its RHS/solution buffers.
+	acG, acC *linalg.Matrix
+	acY      *linalg.CMatrix
+	acRHS    []complex128
+	acX      []complex128
 }
 
 // branch is an extra MNA current unknown (V and E elements).
@@ -88,6 +108,10 @@ func New(ckt *netlist.Circuit, opts Options) (*Engine, error) {
 		}
 	}
 	e.size = e.nNodes + len(e.branches)
+	e.scrJ = linalg.NewMatrix(e.size, e.size)
+	e.scrF = make([]float64, e.size)
+	e.scrDX = make([]float64, e.size)
+	e.scrV = make([]float64, ckt.NumNodes())
 	return e, nil
 }
 
@@ -115,11 +139,53 @@ func (r *OPResult) VNode(c *netlist.Circuit, name string) (float64, error) {
 	return r.V[i], nil
 }
 
-// DCOperatingPoint solves the nonlinear DC equations. It first attempts a
-// plain Newton solve with gmin stepping; if that fails, it retries with
-// source stepping.
+// DCOperatingPoint solves the nonlinear DC equations from a cold start. It
+// first attempts a plain Newton solve with gmin stepping; if that fails, it
+// retries with source stepping.
 func (e *Engine) DCOperatingPoint() (*OPResult, error) {
 	x := make([]float64, e.size)
+	iters, err := e.solveDCCold(x)
+	if err != nil {
+		return nil, err
+	}
+	return e.opResult(x, iters), nil
+}
+
+// DCOperatingPointFrom solves the DC equations warm-started from a previous
+// operating point — the fast path of the batch evaluation pipeline, where
+// consecutive Monte-Carlo samples of one design perturb the model cards
+// only slightly and the previous sample's solution sits inside the Newton
+// basin. A single direct solve (no gmin or source stepping) is attempted
+// from prev; if it does not converge, the engine falls back to the full
+// cold-start procedure, so a sample reports non-convergence only when the
+// cold path fails too and failure injection is unchanged. A nil or
+// mismatched prev degenerates to DCOperatingPoint.
+func (e *Engine) DCOperatingPointFrom(prev *OPResult) (*OPResult, error) {
+	if prev == nil || len(prev.V) != e.ckt.NumNodes() || len(prev.BranchI) != len(e.branches) {
+		return e.DCOperatingPoint()
+	}
+	x := make([]float64, e.size)
+	for i := 1; i < e.ckt.NumNodes(); i++ {
+		x[row(i)] = prev.V[i]
+	}
+	for i := range e.branches {
+		x[e.nNodes+i] = prev.BranchI[i]
+	}
+	iters, err := e.newton(x, stampCtx{gmin: e.opts.GminFinal, srcScale: 1, time: -1})
+	if err != nil {
+		cold, cerr := e.solveDCCold(x)
+		iters += cold
+		if cerr != nil {
+			return nil, cerr
+		}
+	}
+	return e.opResult(x, iters), nil
+}
+
+// solveDCCold runs the full cold-start procedure — zero/source seeding,
+// optional nodeset, gmin stepping, then source stepping — leaving the
+// solution in x and returning the Newton iterations spent.
+func (e *Engine) solveDCCold(x []float64) (int, error) {
 	seed := func() {
 		for i := range x {
 			x[i] = 0
@@ -191,10 +257,11 @@ func (e *Engine) DCOperatingPoint() (*OPResult, error) {
 			}
 		}
 	}
-	if err != nil {
-		return nil, err
-	}
+	return iters, err
+}
 
+// opResult packages a converged solution vector into an OPResult.
+func (e *Engine) opResult(x []float64, iters int) *OPResult {
 	res := &OPResult{
 		V:          make([]float64, e.ckt.NumNodes()),
 		BranchI:    make([]float64, len(e.branches)),
@@ -213,7 +280,7 @@ func (e *Engine) DCOperatingPoint() (*OPResult, error) {
 			res.MOS[m.Name] = op
 		}
 	}
-	return res, nil
+	return res
 }
 
 // stampCtx carries the analysis context: gmin damping, source scaling
@@ -227,11 +294,12 @@ type stampCtx struct {
 	vPrev    []float64 // previous node voltages by node id (transient only)
 }
 
-// newton iterates x toward F(x)=0 under the given stamping context.
+// newton iterates x toward F(x)=0 under the given stamping context. It
+// works entirely in the engine's preallocated scratch: the Jacobian is
+// factored in place and the step vector shares the RHS buffer, so one
+// iteration allocates nothing.
 func (e *Engine) newton(x []float64, ctx stampCtx) (int, error) {
-	n := e.size
-	J := linalg.NewMatrix(n, n)
-	F := make([]float64, n)
+	J, F, dx := e.scrJ, e.scrF, e.scrDX
 	for iter := 1; iter <= e.opts.MaxIter; iter++ {
 		J.Zero()
 		for i := range F {
@@ -239,13 +307,12 @@ func (e *Engine) newton(x []float64, ctx stampCtx) (int, error) {
 		}
 		e.stamp(J, F, x, ctx)
 
-		// Solve J·dx = -F.
-		rhs := make([]float64, n)
+		// Solve J·dx = -F (in place: J becomes its LU factors, dx starts
+		// as the negated residual and ends as the step).
 		for i := range F {
-			rhs[i] = -F[i]
+			dx[i] = -F[i]
 		}
-		dx, err := linalg.SolveSystem(J, rhs)
-		if err != nil {
+		if err := linalg.SolveInPlace(J, dx); err != nil {
 			return iter, fmt.Errorf("%w: singular Jacobian", ErrNoConvergence)
 		}
 		// Damping: clamp each node-voltage update independently so one
@@ -405,7 +472,8 @@ func evalMosfet(m *netlist.Mosfet, V []float64) (op mos.OP, swapped bool) {
 
 // stampMosfet adds the companion model of one MOSFET.
 func (e *Engine) stampMosfet(J *linalg.Matrix, F []float64, x []float64, m *netlist.Mosfet) {
-	V := make([]float64, e.ckt.NumNodes())
+	V := e.scrV
+	V[netlist.Ground] = 0
 	for i := 1; i < len(V); i++ {
 		V[i] = x[row(i)]
 	}

@@ -1,0 +1,153 @@
+package spice
+
+import (
+	"math"
+	"testing"
+
+	"github.com/eda-go/moheco/internal/mos"
+	"github.com/eda-go/moheco/internal/netlist"
+)
+
+// testInverter builds a small nonlinear circuit (resistively loaded NMOS
+// stage) whose DC solve needs several Newton iterations.
+func testInverter() *netlist.Circuit {
+	nch := &mos.Params{
+		Name: "nch", VTH0: 0.5, U0: 0.04, TOX: 7.5e-9,
+		Lambda0: 0.06, Gamma: 0.5, Phi: 0.8,
+		LD: 0.03e-6, WD: 0.02e-6,
+	}
+	c := netlist.New("warm-start testbench")
+	c.AddV("VDD", "vdd", "0", 3.3, 0)
+	c.AddV("VIN", "in", "0", 1.1, 1)
+	c.AddR("RL", "vdd", "out", 20e3)
+	c.AddM("M1", "out", "in", "0", "0", nch, 20e-6, 1e-6, 1)
+	c.AddC("CL", "out", "0", 1e-12)
+	return c
+}
+
+// A warm start from the converged operating point must reproduce the cold
+// solve's solution in a fraction of the iterations.
+func TestWarmStartMatchesColdStart(t *testing.T) {
+	eng, err := New(testInverter(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := eng.DCOperatingPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := eng.DCOperatingPointFrom(cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cold.V {
+		if math.Abs(warm.V[i]-cold.V[i]) > 1e-8 {
+			t.Errorf("node %d: warm %.12g vs cold %.12g", i, warm.V[i], cold.V[i])
+		}
+	}
+	if warm.Iterations >= cold.Iterations {
+		t.Errorf("warm start spent %d iterations, cold start %d — no speedup",
+			warm.Iterations, cold.Iterations)
+	}
+}
+
+// A slightly perturbed circuit solved from the previous operating point —
+// the batch pipeline's per-sample pattern — must agree with a cold solve of
+// the same circuit to solver tolerance.
+func TestWarmStartTracksPerturbation(t *testing.T) {
+	ckt := testInverter()
+	eng, err := New(ckt, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev, err := eng.DCOperatingPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perturb the transistor's model card in place (a ~2% VTH0 shift, the
+	// magnitude a 1-sigma process sample produces).
+	m := ckt.Devices[3].(*netlist.Mosfet)
+	pert := *m.Dev.Params
+	pert.VTH0 += 0.01
+	m.Dev.Params = &pert
+
+	warm, err := eng.DCOperatingPointFrom(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engCold, err := New(ckt, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := engCold.DCOperatingPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cold.V {
+		if math.Abs(warm.V[i]-cold.V[i]) > 1e-7 {
+			t.Errorf("node %d: warm %.12g vs cold %.12g", i, warm.V[i], cold.V[i])
+		}
+	}
+	if warm.Iterations >= cold.Iterations {
+		t.Errorf("warm start spent %d iterations, cold start %d", warm.Iterations, cold.Iterations)
+	}
+}
+
+// A hopeless warm start (a previous operating point far outside the Newton
+// basin) must fall back to the cold-start procedure and still converge to
+// the correct solution — the fallback contract that keeps batched failure
+// injection identical to the point-wise path.
+func TestWarmStartFallsBackToColdStart(t *testing.T) {
+	eng, err := New(testInverter(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := eng.DCOperatingPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := &OPResult{
+		V:       make([]float64, len(cold.V)),
+		BranchI: make([]float64, len(cold.BranchI)),
+	}
+	for i := range bad.V {
+		bad.V[i] = 1e6 // megavolt nodes: the direct solve cannot recover
+	}
+	res, err := eng.DCOperatingPointFrom(bad)
+	if err != nil {
+		t.Fatalf("fallback did not rescue the solve: %v", err)
+	}
+	for i := range cold.V {
+		if math.Abs(res.V[i]-cold.V[i]) > 1e-8 {
+			t.Errorf("node %d: fallback %.12g vs cold %.12g", i, res.V[i], cold.V[i])
+		}
+	}
+	if res.Iterations <= cold.Iterations {
+		t.Errorf("fallback reports %d iterations, cold %d — warm attempt not accounted",
+			res.Iterations, cold.Iterations)
+	}
+}
+
+// A nil or shape-mismatched previous operating point degenerates to the
+// plain cold start.
+func TestWarmStartDegenerateInputs(t *testing.T) {
+	eng, err := New(testInverter(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := eng.DCOperatingPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, prev := range []*OPResult{nil, {V: []float64{0}, BranchI: nil}} {
+		res, err := eng.DCOperatingPointFrom(prev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range cold.V {
+			if res.V[i] != cold.V[i] {
+				t.Fatalf("degenerate warm start diverged from cold start at node %d", i)
+			}
+		}
+	}
+}

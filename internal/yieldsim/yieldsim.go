@@ -125,22 +125,14 @@ func NewCandidate(p problem.Problem, x []float64, cfg Config, counter *Counter, 
 	return c
 }
 
-// simulate runs one sample and returns the pass indicator.
-func (c *Candidate) simulate(xi []float64) bool {
-	ok, err := problem.PassFail(c.prob, c.X, xi)
-	if c.counter != nil {
-		c.counter.Add(1)
-	}
-	if err != nil {
-		// Failure injection: a broken simulation is a failed chip.
-		return false
-	}
-	return ok
-}
-
-// minParallelBatch is the smallest number of simulator calls worth fanning
-// out to the worker pool; below it the pool overhead dominates.
-const minParallelBatch = 32
+// simChunk is the fixed batch-partition size: the simulated samples of one
+// AddSamples call are split into chunks of this many consecutive samples,
+// each handed to the problem as a single batch evaluation. The partition
+// depends only on the batch's draw order — never on the worker count — so
+// Workers=1 and Workers=N produce bit-identical estimates, and a batch
+// problem's per-chunk solver state (netlist, engine, Newton warm starts)
+// always covers the same samples.
+const simChunk = 32
 
 // simJob is one deferred simulator call of a batch: the sample point and
 // the stratum its pass indicator belongs to.
@@ -152,9 +144,17 @@ type simJob struct {
 // AddSamples draws n further Monte-Carlo samples and updates the estimate.
 // The batch proceeds in three phases so that cfg.Workers never changes the
 // result: a sequential phase draws the points and decides — per stratum, in
-// draw order — which samples are simulated; the simulator calls then run on
-// the worker pool (each writing only its own result slot); a final
-// sequential phase accumulates the pass counts.
+// draw order — which samples are simulated; the simulator calls then run as
+// whole fixed-size chunks on the worker pool, each chunk one batch
+// evaluation (problems implementing problem.BatchEvaluator amortize their
+// setup across it; everything else takes the point-wise fallback); a final
+// sequential phase accumulates the pass counts. Per-sample evaluation
+// errors are failure injection — a broken simulation is a failed chip —
+// while structural batch errors (a misbehaving batch implementation) abort
+// and surface. A non-nil error poisons the candidate: sample accounting has
+// advanced past results that were never accumulated, so callers must
+// discard the candidate (every current caller aborts the optimization)
+// rather than retry.
 func (c *Candidate) AddSamples(n int) error {
 	if n <= 0 {
 		return nil
@@ -186,14 +186,29 @@ func (c *Candidate) AddSamples(n int) error {
 		jobs = append(jobs, simJob{st, xi})
 	}
 	pass := make([]bool, len(jobs))
-	workers := c.cfg.Workers
-	if len(jobs) < minParallelBatch {
-		workers = 1
-	}
-	_ = engine.ForEachN(workers, len(jobs), func(i int) error {
-		pass[i] = c.simulate(jobs[i].xi)
+	chunks := (len(jobs) + simChunk - 1) / simChunk
+	if err := engine.ForEachN(c.cfg.Workers, chunks, func(ci int) error {
+		lo := ci * simChunk
+		hi := lo + simChunk
+		if hi > len(jobs) {
+			hi = len(jobs)
+		}
+		xis := make([][]float64, hi-lo)
+		for i := range xis {
+			xis[i] = jobs[lo+i].xi
+		}
+		ok, _, err := problem.PassFailBatch(c.prob, c.X, xis)
+		if c.counter != nil {
+			c.counter.Add(int64(hi - lo))
+		}
+		if err != nil {
+			return err
+		}
+		copy(pass[lo:hi], ok)
 		return nil
-	})
+	}); err != nil {
+		return err
+	}
 	for i, ok := range pass {
 		if ok {
 			jobs[i].st.pass++
@@ -286,13 +301,16 @@ func ReferenceWorkers(p problem.Problem, x []float64, n int, seed uint64, counte
 		}
 		rng := randx.New(randx.DeriveSeed(seed, uint64(ci)))
 		pts := sample.PMC{}.Draw(rng, hi-lo, p.VarDim())
+		// One batch evaluation per chunk: a BatchEvaluator problem keeps
+		// its compiled per-design state (and Newton warm starts) alive
+		// across the whole chunk; per-sample errors are failed chips.
+		ok, _, err := problem.PassFailBatch(p, x, pts)
+		if err != nil {
+			return 0, err
+		}
 		pass := 0
-		for _, xi := range pts {
-			ok, err := problem.PassFail(p, x, xi)
-			if err != nil {
-				ok = false
-			}
-			if ok {
+		for _, v := range ok {
+			if v {
 				pass++
 			}
 		}
