@@ -39,6 +39,7 @@ func main() {
 		trNode   = flag.String("tran", "", "node for transient analysis (PULSE sources drive it)")
 		tStop    = flag.Float64("tstop", 1e-6, "transient stop time (s)")
 		tStep    = flag.Float64("tstep", 1e-9, "transient step (s)")
+		solver   = flag.String("solver", "auto", "linear solver backend: auto, dense or sparse")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: netlistsim [flags] file.sp | netlistsim -problem NAME [flags]\n\n")
@@ -85,15 +86,24 @@ func main() {
 		flag.Usage()
 		os.Exit(1)
 	}
-	eng, err := spice.New(ckt, spice.Options{Nodeset: nodeset})
+	kind, err := spice.ParseSolver(*solver)
 	if err != nil {
 		fatal(err)
+	}
+	eng, err := spice.New(ckt, spice.Options{Nodeset: nodeset, Solver: kind})
+	if err != nil {
+		fatal(err)
+	}
+	backend := "dense"
+	if eng.Sparse() {
+		backend = "sparse"
 	}
 	op, err := eng.DCOperatingPoint()
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("* %s\nDC operating point (%d Newton iterations):\n", ckt.Title, op.Iterations)
+	fmt.Printf("* %s\nMNA system: %d unknowns, %s solver\nDC operating point (%d Newton iterations):\n",
+		ckt.Title, eng.Size(), backend, op.Iterations)
 	for i := 1; i < ckt.NumNodes(); i++ {
 		fmt.Printf("  V(%s) = %.6g V\n", ckt.NodeName(i), op.V[i])
 	}

@@ -22,19 +22,24 @@ import (
 	"time"
 
 	"github.com/eda-go/moheco/internal/exp"
+	"github.com/eda-go/moheco/internal/perfsnap"
+	"github.com/eda-go/moheco/internal/profiling"
 	"github.com/eda-go/moheco/internal/scenario"
 )
 
 func main() {
 	var (
-		quick  = flag.Bool("quick", false, "reduced configuration (3 runs, 20k references)")
-		runs   = flag.Int("runs", 0, "override the number of runs per method")
-		refN   = flag.Int("ref", 0, "override the reference sample count")
-		seed   = flag.Uint64("seed", 0, "override the experiment seed")
-		work   = flag.Int("workers", 0, "evaluation worker goroutines (0 = GOMAXPROCS, 1 = sequential; results are identical)")
-		only   = flag.String("only", "", "comma-separated subset: table12,table34,fig3,fig6,rsb,pswcd,ablation")
-		verb   = flag.Bool("v", false, "print per-run progress")
-		csvDir = flag.String("csv", "", "also write per-run CSV files into this directory")
+		quick   = flag.Bool("quick", false, "reduced configuration (3 runs, 20k references)")
+		runs    = flag.Int("runs", 0, "override the number of runs per method")
+		refN    = flag.Int("ref", 0, "override the reference sample count")
+		seed    = flag.Uint64("seed", 0, "override the experiment seed")
+		work    = flag.Int("workers", 0, "evaluation worker goroutines (0 = GOMAXPROCS, 1 = sequential; results are identical)")
+		only    = flag.String("only", "", "comma-separated subset: table12,table34,fig3,fig6,rsb,pswcd,ablation")
+		verb    = flag.Bool("v", false, "print per-run progress")
+		csvDir  = flag.String("csv", "", "also write per-run CSV files into this directory")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		benchJS = flag.String("benchjson", "", "run the spice-path benchmark set and write a BENCH_eval.json perf snapshot to this file (CI artifact schema), then exit")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: paperbench [flags]\n\n")
@@ -45,6 +50,31 @@ func main() {
 		fmt.Fprintf(flag.CommandLine.Output(), "\n%s", scenario.Usage())
 	}
 	flag.Parse()
+
+	stopProfiles, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProfiles()
+
+	if *benchJS != "" {
+		// Local perf snapshot: the same benchmark cases the CI bench job
+		// runs, written in the same JSON schema, so the bench trajectory is
+		// populated from dev machines too.
+		f, err := os.Create(*benchJS)
+		if err != nil {
+			fatal(err)
+		}
+		if err := perfsnap.Write(io.MultiWriter(f, os.Stdout)); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		stopProfiles()
+		return
+	}
 
 	cfg := exp.Full()
 	if *quick {

@@ -21,6 +21,7 @@ import (
 
 	moheco "github.com/eda-go/moheco"
 	"github.com/eda-go/moheco/internal/constraint"
+	"github.com/eda-go/moheco/internal/profiling"
 	"github.com/eda-go/moheco/internal/scenario"
 )
 
@@ -31,6 +32,8 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "random seed")
 		workers  = flag.Int("workers", 0, "evaluation worker goroutines (0 = GOMAXPROCS, 1 = sequential; results are identical)")
 		xFlag    = flag.String("x", "", "comma-separated design vector (default: reference design)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: yieldest [flags]\n\n")
@@ -38,6 +41,12 @@ func main() {
 		fmt.Fprintf(flag.CommandLine.Output(), "\n%s", scenario.Usage())
 	}
 	flag.Parse()
+
+	stopProfiles, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProfiles()
 
 	sc, err := scenario.Get(*probName)
 	if err != nil {

@@ -1,12 +1,12 @@
-package circuits
+package circuits_test
 
 import (
 	"testing"
 
-	"github.com/eda-go/moheco/internal/problem"
+	"github.com/eda-go/moheco/internal/circuits"
+	"github.com/eda-go/moheco/internal/perfsnap"
 	"github.com/eda-go/moheco/internal/randx"
 	"github.com/eda-go/moheco/internal/sample"
-	"github.com/eda-go/moheco/internal/yieldsim"
 )
 
 // The per-sample evaluation cost bounds every statistical experiment; these
@@ -28,22 +28,22 @@ func benchEvaluate(b *testing.B, p interface {
 }
 
 func BenchmarkEvaluateCommonSource(b *testing.B) {
-	p := NewCommonSource()
+	p := circuits.NewCommonSource()
 	benchEvaluate(b, p, p.ReferenceDesign())
 }
 
 func BenchmarkEvaluateFoldedCascode(b *testing.B) {
-	p := NewFoldedCascode()
+	p := circuits.NewFoldedCascode()
 	benchEvaluate(b, p, p.ReferenceDesign())
 }
 
 func BenchmarkEvaluateTelescopic(b *testing.B) {
-	p := NewTelescopic()
+	p := circuits.NewTelescopic()
 	benchEvaluate(b, p, p.ReferenceDesign())
 }
 
 func BenchmarkEvaluateNominalFoldedCascode(b *testing.B) {
-	p := NewFoldedCascode()
+	p := circuits.NewFoldedCascode()
 	x := p.ReferenceDesign()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
@@ -71,66 +71,52 @@ func BenchmarkEvaluateNominalFoldedCascode(b *testing.B) {
 // a 3.0× throughput gain; the in-tree pair below tracks the remaining
 // batch-vs-pointwise gap (≈1.8×) so regressions in either leg show up.
 
-func benchSpiceYield(b *testing.B, p problem.Problem) {
-	b.Helper()
-	x := NewCommonSourceSpice().ReferenceDesign()
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		y, _, err := yieldsim.ReferenceWorkers(p, x, 256, 5, nil, 1)
-		if err != nil {
-			b.Fatal(err)
-		}
-		b.ReportMetric(100*y, "yield-%")
-	}
-}
+// The bodies live in internal/perfsnap (the paperbench -benchjson local
+// snapshot runs the identical cases), so the in-tree `go test -bench`
+// numbers and the BENCH_eval.json trajectory cannot drift apart.
 
 // BenchmarkSpiceYieldBatched estimates yield through the batch pipeline
 // with engine reuse and warm starts.
 func BenchmarkSpiceYieldBatched(b *testing.B) {
-	benchSpiceYield(b, NewCommonSourceSpice())
+	perfsnap.Get("SpiceYieldBatched").Bench(b)
 }
 
 // BenchmarkSpiceYieldPointwise is the seed's per-sample path: the
 // BatchEvaluator capability is hidden, so every sample rebuilds the netlist
 // and engine and cold-starts the DC solve.
 func BenchmarkSpiceYieldPointwise(b *testing.B) {
-	benchSpiceYield(b, struct{ problem.Problem }{NewCommonSourceSpice()})
+	perfsnap.Get("SpiceYieldPointwise").Bench(b)
+}
+
+// --- Sparse vs dense MNA solver benchmarks (largest registered scenario) ---
+//
+// The folded-cascode half-circuit testbench is a 19-unknown MNA system —
+// the largest registered simulator-in-the-loop scenario — so this pair is
+// the headline number of the sparse solver path: a full yield estimate
+// through the batch pipeline with the solver pinned sparse versus pinned
+// dense (dense is the PR 2 baseline; SolverAuto resolves to sparse at this
+// size). Workers=1, so the ratio is pure per-sample solver cost.
+
+// BenchmarkSpiceYieldFoldedCascodeSparse runs the yield estimate on the
+// static-pattern sparse LU path with symbolic factorization reuse.
+func BenchmarkSpiceYieldFoldedCascodeSparse(b *testing.B) {
+	perfsnap.Get("SpiceYieldFoldedCascodeSparse").Bench(b)
+}
+
+// BenchmarkSpiceYieldFoldedCascodeDense runs the same estimate on the dense
+// LU path — the PR 2 baseline the sparse path is measured against.
+func BenchmarkSpiceYieldFoldedCascodeDense(b *testing.B) {
+	perfsnap.Get("SpiceYieldFoldedCascodeDense").Bench(b)
 }
 
 // BenchmarkSpiceEvalBatch64 measures the amortized per-sample cost of one
 // 64-sample batch through the compiled evaluation context.
 func BenchmarkSpiceEvalBatch64(b *testing.B) {
-	p := NewCommonSourceSpice()
-	x := p.ReferenceDesign()
-	rng := randx.New(1)
-	xis := sample.PMC{}.Draw(rng, 64, p.VarDim())
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_, errs := p.EvaluateBatch(x, xis)
-		for _, err := range errs {
-			if err != nil {
-				b.Fatal(err)
-			}
-		}
-	}
+	perfsnap.Get("SpiceEvalBatch64").Bench(b)
 }
 
 // BenchmarkSpiceEvalPointwise64 evaluates the same 64 samples one call at
 // a time — the seed's cost model.
 func BenchmarkSpiceEvalPointwise64(b *testing.B) {
-	p := NewCommonSourceSpice()
-	x := p.ReferenceDesign()
-	rng := randx.New(1)
-	xis := sample.PMC{}.Draw(rng, 64, p.VarDim())
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		for _, xi := range xis {
-			if _, err := p.Evaluate(x, xi); err != nil {
-				b.Fatal(err)
-			}
-		}
-	}
+	perfsnap.Get("SpiceEvalPointwise64").Bench(b)
 }

@@ -1,6 +1,7 @@
 package circuits
 
 import (
+	"github.com/eda-go/moheco/internal/mos"
 	"github.com/eda-go/moheco/internal/netlist"
 )
 
@@ -42,11 +43,28 @@ func (p *CommonSource) CommonSourceNetlist(x []float64) (*netlist.Circuit, error
 	return c, nil
 }
 
-// FoldedCascodeNetlist builds a half-circuit transistor-level netlist of the
-// folded-cascode amplifier (one signal path with ideal bias rails) plus a
-// nodeset of expected node voltages, for engine cross-checks. The
-// behavioural evaluator remains the reference for the statistical loops.
-func (p *FoldedCascode) FoldedCascodeNetlist(x []float64) (*netlist.Circuit, map[string]float64, error) {
+// fcCards names the model cards stamped into the half-circuit testbench,
+// one per transistor instance. The nominal netlist passes the shared deck
+// models; the simulator-in-the-loop problem passes private per-sample
+// perturbed cards that it rewrites in place between solves.
+type fcCards struct {
+	in, nsink, ncas, pcas, psrc, biasN, biasP *mos.Params
+}
+
+// nominalFCCards returns the unperturbed deck models for every slot.
+func (p *FoldedCascode) nominalFCCards() fcCards {
+	nch := p.tech.Model(false)
+	pch := p.tech.Model(true)
+	return fcCards{in: pch, nsink: nch, ncas: nch, pcas: pch, psrc: pch, biasN: nch, biasP: pch}
+}
+
+// buildFoldedCascodeTB constructs the half-circuit transistor-level
+// testbench of the folded-cascode amplifier (one signal path with ideal
+// bias rails) at design x with the given model cards, plus a nodeset of
+// expected node voltages helping Newton through the CMFB loop. Bias rail
+// voltages track the nominal devices (ideal references, xi-independent) as
+// an HSPICE MC deck's bias sources would.
+func (p *FoldedCascode) buildFoldedCascodeTB(x []float64, cards fcCards) (*netlist.Circuit, map[string]float64, error) {
 	if len(x) != p.Dim() {
 		return nil, nil, errDim("folded-cascode netlist", len(x), p.Dim())
 	}
@@ -72,7 +90,7 @@ func (p *FoldedCascode) FoldedCascodeNetlist(x []float64) (*netlist.Circuit, map
 	c.AddC("CTAIL", "src", "0", 1.0)
 	// Input device M1: gate at input common mode with AC drive.
 	c.AddV("VIN", "in", "0", p.VcmIn, 1)
-	c.AddM("M1", "fold", "in", "src", "vdd", pch, w1, l1, 1)
+	c.AddM("M1", "fold", "in", "src", "vdd", cards.in, w1, l1, 1)
 
 	// NMOS sink at the folding node, biased by a diode reference with a
 	// DC-only common-mode feedback correction: the output is sensed through
@@ -80,29 +98,29 @@ func (p *FoldedCascode) FoldedCascodeNetlist(x []float64) (*netlist.Circuit, map
 	// without loading the AC response (the role the CMFB amp plays in the
 	// fully differential circuit).
 	c.AddI("IBN", "vdd", "bn", is/mirrorRatio, 0)
-	c.AddM("MBN", "bn", "bn", "0", "0", nch, w3/mirrorRatio, lcs, 1)
+	c.AddM("MBN", "bn", "bn", "0", "0", cards.biasN, w3/mirrorRatio, lcs, 1)
 	c.AddR("RCM", "out", "vsense", 1e9)
 	c.AddC("CCM", "vsense", "0", 1.0)
 	c.AddV("VREF", "vref", "0", vdd/2, 0)
 	c.AddE("ECM", "ncm", "bn", "vsense", "vref", 2)
-	c.AddM("M3", "fold", "ncm", "0", "0", nch, w3, lcs, 1)
+	c.AddM("M3", "fold", "ncm", "0", "0", cards.nsink, w3, lcs, 1)
 
 	// NMOS cascode with a fixed gate bias computed as in the evaluator.
 	ncasDev := device(p.space, nil, fcNCasL, nch, w5, lcas, 1)
 	nsinkNom := device(p.space, nil, fcNSinkL, nch, w3, lcs, 1)
 	vbnc := nsinkNom.VDsatForID(is) + p.msBias + ncasDev.VgsForID(ic, 0)
 	c.AddV("VBNC", "bnc", "0", vbnc, 0)
-	c.AddM("M5", "out", "bnc", "fold", "0", nch, w5, lcas, 1)
+	c.AddM("M5", "out", "bnc", "fold", "0", cards.ncas, w5, lcas, 1)
 
 	// PMOS source and cascode on top.
 	c.AddI("IBP", "bp", "0", ic/mirrorRatio, 0)
-	c.AddM("MBP", "bp", "bp", "vdd", "vdd", pch, w9/mirrorRatio, lcs, 1)
-	c.AddM("M9", "x", "bp", "vdd", "vdd", pch, w9, lcs, 1)
+	c.AddM("MBP", "bp", "bp", "vdd", "vdd", cards.biasP, w9/mirrorRatio, lcs, 1)
+	c.AddM("M9", "x", "bp", "vdd", "vdd", cards.psrc, w9, lcs, 1)
 	psrcNom := device(p.space, nil, fcPSrcL, pch, w9, lcs, 1)
 	pcasDev := device(p.space, nil, fcPCasL, pch, w7, lcas, 1)
 	vbpc := vdd - psrcNom.VDsatForID(ic) - p.msBias - pcasDev.VgsForID(ic, 0)
 	c.AddV("VBPC", "bpc", "0", vbpc, 0)
-	c.AddM("M7", "out", "bpc", "x", "vdd", pch, w7, lcas, 1)
+	c.AddM("M7", "out", "bpc", "x", "vdd", cards.pcas, w7, lcas, 1)
 
 	c.AddC("CL", "out", "0", p.CL)
 
@@ -128,6 +146,14 @@ func (p *FoldedCascode) FoldedCascodeNetlist(x []float64) (*netlist.Circuit, map
 		"bpc":    vbpc,
 	}
 	return c, nodeset, nil
+}
+
+// FoldedCascodeNetlist builds the half-circuit testbench with the nominal
+// deck models, for engine cross-checks and netlistsim. The behavioural
+// evaluator remains the reference for the paper's statistical loops;
+// FoldedCascodeSpice runs the same testbench per Monte-Carlo sample.
+func (p *FoldedCascode) FoldedCascodeNetlist(x []float64) (*netlist.Circuit, map[string]float64, error) {
+	return p.buildFoldedCascodeTB(x, p.nominalFCCards())
 }
 
 func errDim(what string, got, want int) error {

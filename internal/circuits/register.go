@@ -40,6 +40,16 @@ func init() {
 		},
 	})
 	scenario.Register(scenario.Scenario{
+		Name:              "foldedcascode-spice",
+		Summary:           "folded-cascode half-circuit testbench evaluated through the MNA engine per sample (sparse solver path)",
+		New:               func() problem.Problem { return NewFoldedCascodeSpice() },
+		DefaultMaxSims:    200,
+		DefaultRefSamples: 500,
+		Netlist: func(x []float64) (*netlist.Circuit, map[string]float64, error) {
+			return NewFoldedCascode().FoldedCascodeNetlist(x)
+		},
+	})
+	scenario.Register(scenario.Scenario{
 		Name:              "commonsource-spice",
 		Summary:           "quickstart problem evaluated through the MNA engine per sample (batched, warm-started)",
 		New:               func() problem.Problem { return NewCommonSourceSpice() },

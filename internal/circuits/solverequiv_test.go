@@ -1,0 +1,131 @@
+package circuits
+
+import (
+	"math"
+	"testing"
+
+	"github.com/eda-go/moheco/internal/scenario"
+	"github.com/eda-go/moheco/internal/spice"
+)
+
+// The sparse and dense solver backends must agree on DC and AC results
+// within 1e-9 relative tolerance on every registered circuit — the
+// correctness contract of the sparse MNA pipeline, checked at scenario
+// granularity so a new registered circuit is covered automatically.
+//
+// Newton is pushed far below its default tolerance so both backends land on
+// the same root to near machine precision; the remaining difference is the
+// rounding of the two factorizations.
+func TestSolverEquivalencePerScenario(t *testing.T) {
+	for _, sc := range scenario.List() {
+		if sc.Netlist == nil {
+			continue
+		}
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			x, ok := scenario.ReferenceDesign(sc.New())
+			if !ok {
+				t.Fatalf("%s: no reference design", sc.Name)
+			}
+			ckt, nodeset, err := sc.Netlist(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := func(k spice.SolverKind) spice.Options {
+				return spice.Options{
+					Nodeset: nodeset, Solver: k,
+					AbsTol: 1e-13, RelTol: 1e-12, MaxIter: 400,
+				}
+			}
+			dense, err := spice.New(ckt, opts(spice.SolverDense))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sp, err := spice.New(ckt, opts(spice.SolverSparse))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sp.Sparse() {
+				t.Fatalf("%s: sparse engine fell back to dense", sc.Name)
+			}
+			opD, err := dense.DCOperatingPoint()
+			if err != nil {
+				t.Fatalf("dense dc: %v", err)
+			}
+			opS, err := sp.DCOperatingPoint()
+			if err != nil {
+				t.Fatalf("sparse dc: %v", err)
+			}
+			const tol = 1e-9
+			for i := range opD.V {
+				if d := math.Abs(opD.V[i] - opS.V[i]); d > tol*(1+math.Abs(opD.V[i])) {
+					t.Errorf("DC V(%s): dense %.12g sparse %.12g", ckt.NodeName(i), opD.V[i], opS.V[i])
+				}
+			}
+			for i := range opD.BranchI {
+				if d := math.Abs(opD.BranchI[i] - opS.BranchI[i]); d > tol*(1+math.Abs(opD.BranchI[i])) {
+					t.Errorf("DC branch %d: dense %.12g sparse %.12g", i, opD.BranchI[i], opS.BranchI[i])
+				}
+			}
+			freqs := spice.LogSpace(1e3, 1e9, 4)
+			acD, err := dense.AC(opD, freqs)
+			if err != nil {
+				t.Fatalf("dense ac: %v", err)
+			}
+			acS, err := sp.AC(opS, freqs)
+			if err != nil {
+				t.Fatalf("sparse ac: %v", err)
+			}
+			for k := range freqs {
+				for i := range acD.V[k] {
+					d := acD.V[k][i] - acS.V[k][i]
+					mag := math.Hypot(real(acD.V[k][i]), imag(acD.V[k][i]))
+					if math.Hypot(real(d), imag(d)) > tol*(1+mag) {
+						t.Errorf("AC %g Hz node %s: dense %v sparse %v",
+							freqs[k], ckt.NodeName(i), acD.V[k][i], acS.V[k][i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// The simulator-in-the-loop problems must classify samples identically and
+// agree on performances to solver tolerance regardless of backend — the
+// yield estimate may not depend on the solver knob beyond Newton noise.
+func TestSpiceProblemsSolverInvariant(t *testing.T) {
+	type solvable interface {
+		Name() string
+	}
+	for _, mk := range []func(k spice.SolverKind) solvable{
+		func(k spice.SolverKind) solvable { return NewCommonSourceSpice().SetSolver(k) },
+		func(k spice.SolverKind) solvable { return NewFoldedCascodeSpice().SetSolver(k) },
+	} {
+		dense := mk(spice.SolverDense)
+		sp := mk(spice.SolverSparse)
+		t.Run(dense.Name(), func(t *testing.T) {
+			type evaler interface {
+				Evaluate(x, xi []float64) ([]float64, error)
+				ReferenceDesign() []float64
+			}
+			de := dense.(evaler)
+			se := sp.(evaler)
+			x := de.ReferenceDesign()
+			pd, err := de.Evaluate(x, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ps, err := se.Evaluate(x, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := range pd {
+				diff := math.Abs(pd[j] - ps[j])
+				scale := math.Max(math.Abs(pd[j]), 1e-12)
+				if diff/scale > 1e-5 {
+					t.Errorf("perf %d: dense %.9g sparse %.9g", j, pd[j], ps[j])
+				}
+			}
+		})
+	}
+}

@@ -389,3 +389,53 @@ func TestSolveInPlaceSingular(t *testing.T) {
 		t.Fatal("singular system not reported")
 	}
 }
+
+// CSolveInPlace must produce bit-identical solutions to CSolve on the same
+// values: the AC sweep relies on the in-place variant being observationally
+// invisible, exactly as the real SolveInPlace contract above.
+func TestCSolveInPlaceMatchesCSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + trial%7
+		a := NewCMatrix(n, n)
+		b := make([]complex128, n)
+		for i := 0; i < n; i++ {
+			b[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			for j := 0; j < n; j++ {
+				a.Set(i, j, complex(rng.NormFloat64(), rng.NormFloat64()))
+			}
+			a.Add(i, i, complex(float64(n), 0))
+		}
+		want, err := CSolve(a.Clone(), b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := append([]complex128(nil), b...)
+		if err := CSolveInPlace(a.Clone(), got); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d x[%d]: in-place %v vs csolve %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// Shape error paths: mismatched right-hand sides and non-square inputs
+// must be rejected by every entry point, not crash.
+func TestSolveShapeErrors(t *testing.T) {
+	sq := Identity(3)
+	if err := SolveInPlace(sq.Clone(), []float64{1, 2}); err == nil {
+		t.Error("short rhs accepted by SolveInPlace")
+	}
+	if _, err := Factor(NewMatrix(2, 3)); err == nil {
+		t.Error("non-square accepted by Factor")
+	}
+	if err := CSolveInPlace(NewCMatrix(2, 3), make([]complex128, 2)); err == nil {
+		t.Error("non-square accepted by CSolveInPlace")
+	}
+	if err := CSolveInPlace(NewCMatrix(2, 2), make([]complex128, 3)); err == nil {
+		t.Error("long rhs accepted by CSolveInPlace")
+	}
+}

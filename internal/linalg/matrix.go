@@ -24,6 +24,21 @@ func NewMatrix(rows, cols int) *Matrix {
 	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
 }
 
+// NewMatrixTrailing returns a rows×cols matrix whose Data slice carries
+// extra trailing scratch elements beyond Rows·Cols. The linear-algebra
+// kernels address only Rows·Cols; the trailing slots let callers map
+// write-off indices (the MNA ground-stamp convention of internal/spice)
+// into the same array without bounds branches. Note the element-wise
+// helpers (Zero, Scale, MaxAbs) walk the full Data slice, while Clone
+// returns a plain Rows·Cols matrix (the trailing scratch is not copied) —
+// trailing matrices are scratch buffers, not values to pass around.
+func NewMatrixTrailing(rows, cols, extra int) *Matrix {
+	if rows < 0 || cols < 0 || extra < 0 {
+		panic(fmt.Sprintf("linalg: invalid trailing shape %dx%d+%d", rows, cols, extra))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols+extra)}
+}
+
 // FromRows builds a matrix from row slices; all rows must share one length.
 func FromRows(rows [][]float64) *Matrix {
 	if len(rows) == 0 {

@@ -1,0 +1,513 @@
+// Package sparse implements a static-pattern sparse LU solver for the MNA
+// circuit engine. The cost model of circuit simulation is peculiar: one
+// topology is solved thousands of times (every Newton iteration, every AC
+// frequency point, every Monte-Carlo sample of one design) while the nonzero
+// pattern of the matrix never changes. The package therefore splits the
+// solve into
+//
+//   - a one-time symbolic analysis (Builder → Analyze): a maximum transversal
+//     puts a structurally nonzero entry on every diagonal position (MNA
+//     branch rows carry a zero diagonal), a minimum-degree/Markowitz
+//     heuristic orders the elimination to limit fill-in, and the fill
+//     pattern of L+U under that fixed order is precomputed; and
+//   - a numeric refactorization (Matrix.Factorize) that runs row-wise
+//     Doolittle elimination inside the precomputed pattern with no pivot
+//     search and no allocation, followed by Solve.
+//
+// Devices stamp through direct indices into the value array (Symbolic.Index,
+// resolved once per engine), so assembling a new matrix is a handful of
+// pointer-free slice writes. Real (float64) and complex (complex128) systems
+// share one generic implementation and one symbolic analysis, which is what
+// lets the AC sweep's Y = G + jωC reuse the DC Jacobian's pattern.
+package sparse
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+	"sort"
+)
+
+// ErrStructural reports a pattern with no perfect row/column matching: the
+// matrix is singular for every numeric value assignment, so no elimination
+// order can factor it.
+var ErrStructural = errors.New("sparse: structurally singular pattern")
+
+// ErrSingular reports a zero (or unusably small) pivot during numeric
+// factorization under the precomputed static order.
+var ErrSingular = errors.New("sparse: singular matrix")
+
+// errNotFactored reports Solve before a successful Factorize.
+var errNotFactored = errors.New("sparse: matrix not factorized")
+
+// Builder accumulates the structural nonzero pattern of an n×n system.
+type Builder struct {
+	n    int
+	rows []map[int]struct{}
+}
+
+// NewBuilder returns an empty pattern builder for an n×n matrix.
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic(fmt.Sprintf("sparse: invalid size %d", n))
+	}
+	b := &Builder{n: n, rows: make([]map[int]struct{}, n)}
+	for i := range b.rows {
+		b.rows[i] = map[int]struct{}{}
+	}
+	return b
+}
+
+// Add records a structurally nonzero entry. Negative indices are ignored —
+// the MNA ground-row convention, so device pattern enumeration can reuse the
+// same row-mapping helpers as stamping.
+func (b *Builder) Add(r, c int) {
+	if r < 0 || c < 0 {
+		return
+	}
+	if r >= b.n || c >= b.n {
+		panic(fmt.Sprintf("sparse: entry (%d,%d) outside %d×%d pattern", r, c, b.n, b.n))
+	}
+	b.rows[r][c] = struct{}{}
+}
+
+// Symbolic is the one-time analysis of a pattern: the row/column
+// permutations chosen by matching and minimum-degree ordering, and the CSR
+// fill pattern of L+U under that order. It is immutable after Analyze; any
+// number of Matrix values (real or complex) can share one Symbolic.
+type Symbolic struct {
+	n int
+
+	rowPerm []int // original row r sits at permuted row rowPerm[r]
+	colPerm []int // original col c sits at permuted col colPerm[c]
+	rowInv  []int // permuted row i holds original row rowInv[i]
+
+	// L+U pattern in permuted coordinates, rows in CSR with ascending
+	// columns; diag[i] is the absolute position of the diagonal of row i.
+	rowPtr []int
+	cols   []int
+	diag   []int
+
+	stamped int // entries in the original pattern (pre-fill), for stats
+}
+
+// Analyze runs the symbolic phase: maximum transversal, minimum-degree
+// ordering and symbolic fill-in. It returns ErrStructural when the pattern
+// admits no structurally nonzero diagonal.
+func (b *Builder) Analyze() (*Symbolic, error) {
+	n := b.n
+	// Deterministic sorted copies of the row patterns (the builder's sets
+	// are maps).
+	rows := make([][]int, n)
+	stamped := 0
+	for r, set := range b.rows {
+		cs := make([]int, 0, len(set))
+		for c := range set {
+			cs = append(cs, c)
+		}
+		sort.Ints(cs)
+		rows[r] = cs
+		stamped += len(cs)
+	}
+
+	colOfRow, err := maximumTransversal(n, rows)
+	if err != nil {
+		return nil, err
+	}
+	order := minDegreeOrder(n, rows, colOfRow)
+
+	pos := make([]int, n) // column c is eliminated at position pos[c]
+	for k, v := range order {
+		pos[v] = k
+	}
+	s := &Symbolic{
+		n:       n,
+		rowPerm: make([]int, n),
+		colPerm: make([]int, n),
+		rowInv:  make([]int, n),
+		stamped: stamped,
+	}
+	for r := 0; r < n; r++ {
+		s.rowPerm[r] = pos[colOfRow[r]]
+		s.rowInv[s.rowPerm[r]] = r
+	}
+	for c := 0; c < n; c++ {
+		s.colPerm[c] = pos[c]
+	}
+	s.symbolicFill(rows)
+	return s, nil
+}
+
+// maximumTransversal matches every column to a distinct row holding a
+// structural nonzero in it (MC21-style augmenting paths), so the permuted
+// matrix has a fully nonzero diagonal. colOfRow[r] is the column row r
+// pivots for.
+func maximumTransversal(n int, rows [][]int) ([]int, error) {
+	// Column → candidate rows adjacency.
+	colRows := make([][]int, n)
+	for r, cs := range rows {
+		for _, c := range cs {
+			colRows[c] = append(colRows[c], r)
+		}
+	}
+	colOfRow := make([]int, n)
+	rowOfCol := make([]int, n)
+	for i := range colOfRow {
+		colOfRow[i] = -1
+		rowOfCol[i] = -1
+	}
+	// Cheap pass: keep rows with a structural diagonal on it. MNA node rows
+	// all have one (gmin guarantees it); only branch rows need reassignment,
+	// and starting from the diagonal keeps the permutation near-symmetric,
+	// which the min-degree heuristic rewards with less fill.
+	for r, cs := range rows {
+		for _, c := range cs {
+			if c == r {
+				colOfRow[r] = r
+				rowOfCol[r] = r
+				break
+			}
+		}
+	}
+	seen := make([]bool, n)
+	var augment func(c int) bool
+	augment = func(c int) bool {
+		// Free rows first: stealing a matched row only when no free row
+		// exists keeps augmenting paths short. That is a numerical property,
+		// not just speed: an MNA voltage-source branch column then always
+		// resolves through the source's own ±1 couplings (a two-cycle with
+		// its node), and never re-matches node rows onto device-block
+		// entries that are structurally present but numerically zero (a
+		// MOSFET gate row's drain coupling, say), which would put a zero
+		// pivot on the diagonal of the unpivoted factorization.
+		for _, r := range colRows[c] {
+			if !seen[r] && colOfRow[r] == -1 {
+				seen[r] = true
+				colOfRow[r] = c
+				rowOfCol[c] = r
+				return true
+			}
+		}
+		for _, r := range colRows[c] {
+			if seen[r] {
+				continue
+			}
+			seen[r] = true
+			if augment(colOfRow[r]) {
+				colOfRow[r] = c
+				rowOfCol[c] = r
+				return true
+			}
+		}
+		return false
+	}
+	for c := 0; c < n; c++ {
+		if rowOfCol[c] != -1 {
+			continue
+		}
+		for i := range seen {
+			seen[i] = false
+		}
+		if !augment(c) {
+			return nil, fmt.Errorf("%w: no pivot row available for column %d", ErrStructural, c)
+		}
+	}
+	return colOfRow, nil
+}
+
+// minDegreeOrder computes a fill-reducing elimination order with a greedy
+// minimum-degree heuristic (the symmetric specialization of Markowitz
+// pivoting) on the symmetrized pattern of the row-matched matrix. Ties break
+// toward the smallest index, keeping the order deterministic.
+func minDegreeOrder(n int, rows [][]int, colOfRow []int) []int {
+	adj := make([]map[int]struct{}, n)
+	for i := range adj {
+		adj[i] = map[int]struct{}{}
+	}
+	for r, cs := range rows {
+		i := colOfRow[r] // permuted row index of original row r
+		for _, c := range cs {
+			if c != i {
+				adj[i][c] = struct{}{}
+				adj[c][i] = struct{}{}
+			}
+		}
+	}
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	order := make([]int, 0, n)
+	for len(order) < n {
+		best, bestDeg := -1, n+1
+		for v := 0; v < n; v++ {
+			if alive[v] && len(adj[v]) < bestDeg {
+				best, bestDeg = v, len(adj[v])
+			}
+		}
+		order = append(order, best)
+		alive[best] = false
+		// Eliminating best turns its neighborhood into a clique — exactly
+		// the fill the numeric elimination will create.
+		neigh := make([]int, 0, len(adj[best]))
+		for u := range adj[best] {
+			neigh = append(neigh, u)
+		}
+		sort.Ints(neigh)
+		for _, u := range neigh {
+			delete(adj[u], best)
+		}
+		for a := 0; a < len(neigh); a++ {
+			for b := a + 1; b < len(neigh); b++ {
+				adj[neigh[a]][neigh[b]] = struct{}{}
+				adj[neigh[b]][neigh[a]] = struct{}{}
+			}
+		}
+	}
+	return order
+}
+
+// symbolicFill computes the row-wise L+U pattern under the fixed order by
+// simulating the elimination: row i's pattern is its stamped entries plus,
+// for every below-diagonal column k it holds, the above-diagonal pattern of
+// (already final) row k.
+func (s *Symbolic) symbolicFill(rows [][]int) {
+	n := s.n
+	luCols := make([][]int, n)
+	diagAt := make([]int, n) // index of the diagonal inside luCols[i]
+	marked := make([]bool, n)
+	for r, cs := range rows {
+		i := s.rowPerm[r]
+		lst := make([]int, 0, len(cs)+4)
+		for _, c := range cs {
+			lst = append(lst, s.colPerm[c])
+		}
+		luCols[i] = lst
+	}
+	for i := 0; i < n; i++ {
+		lst := luCols[i]
+		for _, c := range lst {
+			marked[c] = true
+		}
+		// Ascending scan: a fill entry at column j (k < j < i) added while
+		// processing k is itself reached later in the same scan.
+		for k := 0; k < i; k++ {
+			if !marked[k] {
+				continue
+			}
+			up := luCols[k][diagAt[k]+1:]
+			for _, j := range up {
+				if !marked[j] {
+					marked[j] = true
+					lst = append(lst, j)
+				}
+			}
+		}
+		sort.Ints(lst)
+		luCols[i] = lst
+		for t, c := range lst {
+			marked[c] = false
+			if c == i {
+				diagAt[i] = t
+			}
+		}
+	}
+	s.rowPtr = make([]int, n+1)
+	for i, lst := range luCols {
+		s.rowPtr[i+1] = s.rowPtr[i] + len(lst)
+	}
+	s.cols = make([]int, s.rowPtr[n])
+	s.diag = make([]int, n)
+	for i, lst := range luCols {
+		copy(s.cols[s.rowPtr[i]:], lst)
+		s.diag[i] = s.rowPtr[i] + diagAt[i]
+	}
+}
+
+// N returns the system size.
+func (s *Symbolic) N() int { return s.n }
+
+// NNZ returns the number of stored entries in L+U (stamped plus fill-in).
+func (s *Symbolic) NNZ() int { return len(s.cols) }
+
+// Stamped returns the number of entries in the analyzed (pre-fill) pattern.
+func (s *Symbolic) Stamped() int { return s.stamped }
+
+// Trash returns the index of the write-off slot at the end of every value
+// array over this pattern: stamps addressed at a ground row or column land
+// there, keeping the stamping loops branch-free.
+func (s *Symbolic) Trash() int { return len(s.cols) }
+
+// Index returns the value-array position of entry (r, c) in original
+// coordinates, resolving the row/column permutations and the CSR layout.
+// Negative indices return the trash slot (the MNA ground convention). An
+// entry outside the analyzed pattern is a programming error and panics:
+// stamp pointers must be resolved against the same pattern that was built.
+func (s *Symbolic) Index(r, c int) int {
+	if r < 0 || c < 0 {
+		return s.Trash()
+	}
+	i, j := s.rowPerm[r], s.colPerm[c]
+	lo, hi := s.rowPtr[i], s.rowPtr[i+1]
+	row := s.cols[lo:hi]
+	k := sort.SearchInts(row, j)
+	if k == len(row) || row[k] != j {
+		panic(fmt.Sprintf("sparse: entry (%d,%d) not in analyzed pattern", r, c))
+	}
+	return lo + k
+}
+
+// Scalar is the element type of a sparse system: the DC Jacobian is real,
+// the AC admittance matrix complex.
+type Scalar interface {
+	float64 | complex128
+}
+
+// Matrix holds numeric values over a shared Symbolic pattern plus the
+// scratch needed to refactor and solve without allocation. Factorize runs in
+// place over the value array (values are re-stamped before every solve in
+// the MNA use), so a Matrix is not safe for concurrent use.
+type Matrix[T Scalar] struct {
+	sym  *Symbolic
+	vals []T // len NNZ()+1; the last element is the write-off slot
+	w    []T // dense scatter row
+	inv  []T // per-row pivot reciprocals
+	pb   []T // permuted right-hand side
+	ok   bool
+}
+
+// NewMatrix returns a zero matrix over the analyzed pattern.
+func NewMatrix[T Scalar](s *Symbolic) *Matrix[T] {
+	return &Matrix[T]{
+		sym:  s,
+		vals: make([]T, s.NNZ()+1),
+		w:    make([]T, s.n),
+		inv:  make([]T, s.n),
+		pb:   make([]T, s.n),
+	}
+}
+
+// Symbolic returns the shared pattern.
+func (m *Matrix[T]) Symbolic() *Symbolic { return m.sym }
+
+// Values exposes the value array for direct stamping through indices from
+// Symbolic.Index. Its last element is the write-off slot.
+func (m *Matrix[T]) Values() []T { return m.vals }
+
+// Zero clears all values (including the write-off slot), keeping the
+// allocation and the factorization pattern.
+func (m *Matrix[T]) Zero() {
+	for i := range m.vals {
+		m.vals[i] = 0
+	}
+	m.ok = false
+}
+
+// Factorize runs the numeric LU elimination in place inside the precomputed
+// fill pattern: no pivot search, no allocation — the refactorization path
+// that amortizes the symbolic analysis over every Newton iteration and AC
+// frequency point. The stamped values are overwritten by the factors.
+func (m *Matrix[T]) Factorize() error {
+	s := m.sym
+	vals, w, inv, cols := m.vals, m.w, m.inv, s.cols
+	m.ok = false
+	for i := 0; i < s.n; i++ {
+		start, end, dp := s.rowPtr[i], s.rowPtr[i+1], s.diag[i]
+		for t := start; t < end; t++ {
+			w[cols[t]] = vals[t]
+		}
+		for t := start; t < dp; t++ {
+			k := cols[t]
+			lik := w[k] * inv[k]
+			w[k] = lik
+			if lik == 0 {
+				continue
+			}
+			for u := s.diag[k] + 1; u < s.rowPtr[k+1]; u++ {
+				w[cols[u]] -= lik * vals[u]
+			}
+		}
+		for t := start; t < end; t++ {
+			vals[t] = w[cols[t]]
+		}
+		d := vals[dp]
+		if badPivot(d) {
+			return fmt.Errorf("%w: zero pivot at permuted row %d", ErrSingular, i)
+		}
+		r := T(1) / d
+		if infValue(r) {
+			// A subnormal pivot whose reciprocal overflows: numerically
+			// indistinguishable from singular at working precision.
+			return fmt.Errorf("%w: subnormal pivot at permuted row %d", ErrSingular, i)
+		}
+		inv[i] = r
+	}
+	m.ok = true
+	return nil
+}
+
+// Solve overwrites b (in original index order) with the solution of A x = b
+// using the current factorization: permute, forward- and back-substitute,
+// permute back. It allocates nothing.
+func (m *Matrix[T]) Solve(b []T) error {
+	if !m.ok {
+		return errNotFactored
+	}
+	s := m.sym
+	n := s.n
+	if len(b) < n {
+		return fmt.Errorf("sparse: rhs length %d < %d", len(b), n)
+	}
+	vals, cols, pb := m.vals, s.cols, m.pb
+	for i := 0; i < n; i++ {
+		pb[i] = b[s.rowInv[i]]
+	}
+	for i := 1; i < n; i++ {
+		sum := pb[i]
+		for t := s.rowPtr[i]; t < s.diag[i]; t++ {
+			sum -= vals[t] * pb[cols[t]]
+		}
+		pb[i] = sum
+	}
+	for i := n - 1; i >= 0; i-- {
+		sum := pb[i]
+		for t := s.diag[i] + 1; t < s.rowPtr[i+1]; t++ {
+			sum -= vals[t] * pb[cols[t]]
+		}
+		pb[i] = sum * m.inv[i]
+	}
+	for c := 0; c < n; c++ {
+		b[c] = pb[s.colPerm[c]]
+	}
+	return nil
+}
+
+// FactorSolve factors the stamped values and solves one right-hand side —
+// the per-Newton-iteration primitive.
+func (m *Matrix[T]) FactorSolve(b []T) error {
+	if err := m.Factorize(); err != nil {
+		return err
+	}
+	return m.Solve(b)
+}
+
+func badPivot[T Scalar](d T) bool {
+	switch v := any(d).(type) {
+	case float64:
+		return v == 0 || math.IsNaN(v)
+	case complex128:
+		return v == 0 || cmplx.IsNaN(v)
+	}
+	return false
+}
+
+func infValue[T Scalar](r T) bool {
+	switch v := any(r).(type) {
+	case float64:
+		return math.IsInf(v, 0)
+	case complex128:
+		return cmplx.IsInf(v)
+	}
+	return false
+}

@@ -1,0 +1,146 @@
+// Package perfsnap runs the spice-path benchmark set in-process and writes
+// a BENCH_eval.json perf snapshot in the `go test -json` line schema. It is
+// the single source of the benchmark bodies: internal/circuits/bench_test.go
+// delegates to Cases so the in-tree `go test -bench` numbers and the
+// paperbench -benchjson local snapshot measure exactly the same work, and
+// the bench trajectory can be populated from dev machines as well as CI.
+package perfsnap
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"github.com/eda-go/moheco/internal/circuits"
+	"github.com/eda-go/moheco/internal/problem"
+	"github.com/eda-go/moheco/internal/randx"
+	"github.com/eda-go/moheco/internal/sample"
+	"github.com/eda-go/moheco/internal/spice"
+	"github.com/eda-go/moheco/internal/yieldsim"
+)
+
+// pkg is the Package field of every emitted event; consumers of the CI
+// artifact group lines by it.
+const pkg = "github.com/eda-go/moheco/internal/perfsnap"
+
+// Case is one named benchmark of the spice-path set. Name carries no
+// "Benchmark" prefix; the emitted output line adds it, matching the bench
+// naming of internal/circuits/bench_test.go.
+type Case struct {
+	Name  string
+	Bench func(b *testing.B)
+}
+
+// yieldBench estimates yield through yieldsim's chunked pipeline at
+// Workers=1, the spice-path unit of work tracked across commits. The
+// reference design is passed explicitly because capability-hiding wrappers
+// (the point-wise legs) conceal it from type assertions.
+func yieldBench(mk func() problem.Problem, ref []float64, n int) func(b *testing.B) {
+	return func(b *testing.B) {
+		p := mk()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			y, _, err := yieldsim.ReferenceWorkers(p, ref, n, 5, nil, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(100*y, "yield-%")
+		}
+	}
+}
+
+// Cases returns the tracked benchmark set: the batched-vs-pointwise pair on
+// the quickstart stage (the batch pipeline's headline), the sparse-vs-dense
+// solver pair on the folded-cascode testbench (the sparse MNA pipeline's
+// headline, dense being the PR 2 baseline), and the amortized 64-sample
+// batch pair.
+func Cases() []Case {
+	csRef := circuits.NewCommonSourceSpice().ReferenceDesign()
+	fcRef := circuits.NewFoldedCascodeSpice().ReferenceDesign()
+	return []Case{
+		{"SpiceYieldBatched", yieldBench(func() problem.Problem {
+			return circuits.NewCommonSourceSpice()
+		}, csRef, 256)},
+		{"SpiceYieldPointwise", yieldBench(func() problem.Problem {
+			return struct{ problem.Problem }{circuits.NewCommonSourceSpice()}
+		}, csRef, 256)},
+		{"SpiceYieldFoldedCascodeSparse", yieldBench(func() problem.Problem {
+			return circuits.NewFoldedCascodeSpice().SetSolver(spice.SolverSparse)
+		}, fcRef, 128)},
+		{"SpiceYieldFoldedCascodeDense", yieldBench(func() problem.Problem {
+			return circuits.NewFoldedCascodeSpice().SetSolver(spice.SolverDense)
+		}, fcRef, 128)},
+		{"SpiceEvalBatch64", func(b *testing.B) {
+			p := circuits.NewCommonSourceSpice()
+			x := p.ReferenceDesign()
+			xis := sample.PMC{}.Draw(randx.New(1), 64, p.VarDim())
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, errs := p.EvaluateBatch(x, xis)
+				for _, err := range errs {
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}},
+		{"SpiceEvalPointwise64", func(b *testing.B) {
+			p := circuits.NewCommonSourceSpice()
+			x := p.ReferenceDesign()
+			xis := sample.PMC{}.Draw(randx.New(1), 64, p.VarDim())
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, xi := range xis {
+					if _, err := p.Evaluate(x, xi); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}},
+	}
+}
+
+// Get returns the named case; it panics on an unknown name, which is a
+// compile-time constant in every caller.
+func Get(name string) Case {
+	for _, c := range Cases() {
+		if c.Name == name {
+			return c
+		}
+	}
+	panic(fmt.Sprintf("perfsnap: unknown benchmark case %q", name))
+}
+
+// event mirrors the test2json line schema emitted by `go test -json`, the
+// format of the CI BENCH_eval.json artifact.
+type event struct {
+	Time    time.Time `json:"Time"`
+	Action  string    `json:"Action"`
+	Package string    `json:"Package"`
+	Output  string    `json:"Output,omitempty"`
+}
+
+// Write runs every case through testing.Benchmark and streams the snapshot
+// to w, one JSON event per line.
+func Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	emit := func(action, output string) error {
+		return enc.Encode(event{Time: time.Now().UTC(), Action: action, Package: pkg, Output: output})
+	}
+	if err := emit("start", ""); err != nil {
+		return err
+	}
+	for _, c := range Cases() {
+		r := testing.Benchmark(c.Bench)
+		line := fmt.Sprintf("Benchmark%s\t%s\t%s\n", c.Name, r.String(), r.MemString())
+		if err := emit("output", line); err != nil {
+			return err
+		}
+	}
+	return emit("pass", "")
+}

@@ -1,0 +1,53 @@
+// Package profiling wires the conventional -cpuprofile/-memprofile flags
+// into the command-line tools, so hot-path regressions in the evaluation
+// pipeline are diagnosable with `go tool pprof` against a released binary,
+// without code edits or a test harness.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+)
+
+// Start begins CPU profiling when cpuFile is non-empty and returns a stop
+// function that finishes the CPU profile and, when memFile is non-empty,
+// writes a heap profile (after a GC, so it reflects live objects). The stop
+// function is idempotent: calling it from both a defer and an early-exit
+// path is safe.
+func Start(cpuFile, memFile string) (stop func(), err error) {
+	var cpuOut *os.File
+	if cpuFile != "" {
+		cpuOut, err = os.Create(cpuFile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuOut); err != nil {
+			cpuOut.Close()
+			return nil, fmt.Errorf("profiling: start CPU profile: %w", err)
+		}
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			if cpuOut != nil {
+				pprof.StopCPUProfile()
+				cpuOut.Close()
+			}
+			if memFile != "" {
+				f, err := os.Create(memFile)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "profiling:", err)
+					return
+				}
+				defer f.Close()
+				runtime.GC()
+				if err := pprof.WriteHeapProfile(f); err != nil {
+					fmt.Fprintln(os.Stderr, "profiling: write heap profile:", err)
+				}
+			}
+		})
+	}, nil
+}

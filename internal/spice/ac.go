@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"github.com/eda-go/moheco/internal/linalg"
+	"github.com/eda-go/moheco/internal/linalg/sparse"
 	"github.com/eda-go/moheco/internal/netlist"
 )
 
@@ -48,30 +49,50 @@ func LogSpace(fStart, fStop float64, perDecade int) []float64 {
 //
 // The linearized MNA system is affine in frequency — Y(ω) = G + jω·C with a
 // frequency-independent right-hand side — so the devices are evaluated and
-// stamped into the real G and C parts once per sweep, and each frequency
-// point only assembles the complex matrix from them and solves. On the
-// simulator-in-the-loop sample path this removes the per-point device
-// relinearization that used to dominate the sweep.
+// stamped (through the engine's cached stamp indices) into the real G and C
+// parts once per sweep, and each frequency point only assembles the complex
+// values from them and solves. On the sparse backend the per-point assembly
+// walks the nonzeros instead of n² entries, and every point's factorization
+// reuses the symbolic analysis done in New; DC and AC share one pattern
+// because the plan enumerates their union.
 func (e *Engine) AC(op *OPResult, freqs []float64) (*ACResult, error) {
 	n := e.size
 	res := &ACResult{Freqs: freqs, V: make([][]complex128, len(freqs))}
-	if e.acG == nil {
-		// AC scratch, allocated on the first sweep and reused for the
-		// engine's lifetime (one engine serves a whole sample batch).
-		e.acG = linalg.NewMatrix(n, n)
-		e.acC = linalg.NewMatrix(n, n)
-		e.acY = linalg.NewCMatrix(n, n)
-		e.acRHS = make([]complex128, n)
-		e.acX = make([]complex128, n)
+	var gv, cv []float64 // stamped value arrays with trailing write-off slot
+	if e.sym != nil {
+		if e.spG == nil {
+			// AC scratch, allocated on the first sweep and reused for the
+			// engine's lifetime (one engine serves a whole sample batch).
+			e.spG = sparse.NewMatrix[float64](e.sym)
+			e.spC = sparse.NewMatrix[float64](e.sym)
+			e.spY = sparse.NewMatrix[complex128](e.sym)
+			e.acRHS = make([]complex128, n+1)
+			e.acX = make([]complex128, n)
+		}
+		e.spG.Zero()
+		e.spC.Zero()
+		gv, cv = e.spG.Values(), e.spC.Values()
+	} else {
+		if e.acGv == nil {
+			// Plain stamped value arrays with the trailing write-off slot;
+			// only the per-point assembled system needs a matrix type.
+			e.acGv = make([]float64, n*n+1)
+			e.acCv = make([]float64, n*n+1)
+			e.acY = linalg.NewCMatrix(n, n)
+			e.acRHS = make([]complex128, n+1)
+			e.acX = make([]complex128, n)
+		}
+		for i := range e.acGv {
+			e.acGv[i] = 0
+			e.acCv[i] = 0
+		}
+		gv, cv = e.acGv, e.acCv
 	}
-	G, C, Y := e.acG, e.acC, e.acY
-	G.Zero()
-	C.Zero()
 	rhs0 := e.acRHS
 	for i := range rhs0 {
 		rhs0[i] = 0
 	}
-	e.stampACParts(G, C, rhs0, op)
+	e.plan.stampAC(gv, cv, rhs0, op, e.opts.GminFinal)
 
 	// One flat backing array for the whole sweep instead of one slice per
 	// frequency point.
@@ -80,11 +101,24 @@ func (e *Engine) AC(op *OPResult, freqs []float64) (*ACResult, error) {
 	x := e.acX
 	for k, f := range freqs {
 		omega := 2 * math.Pi * f
-		for i := range Y.Data {
-			Y.Data[i] = complex(G.Data[i], omega*C.Data[i])
+		copy(x, rhs0[:n])
+		var err error
+		if e.sym != nil {
+			yv := e.spY.Values()
+			for i := range yv {
+				yv[i] = complex(gv[i], omega*cv[i])
+			}
+			if err = e.spY.Factorize(); err == nil {
+				err = e.spY.Solve(x)
+			}
+		} else {
+			Y := e.acY
+			for i := range Y.Data {
+				Y.Data[i] = complex(gv[i], omega*cv[i])
+			}
+			err = linalg.CSolveInPlace(Y, x)
 		}
-		copy(x, rhs0)
-		if err := linalg.CSolveInPlace(Y, x); err != nil {
+		if err != nil {
 			return nil, fmt.Errorf("spice: AC solve at %g Hz: %w", f, err)
 		}
 		vk := backing[k*nodes : (k+1)*nodes]
@@ -94,113 +128,4 @@ func (e *Engine) AC(op *OPResult, freqs []float64) (*ACResult, error) {
 		res.V[k] = vk
 	}
 	return res, nil
-}
-
-// stampACParts fills the frequency-independent split of the small-signal
-// system: conductances (and source couplings) into G, capacitances into C —
-// the ω factor is applied at assembly — and the AC drive into rhs.
-func (e *Engine) stampACParts(G, C *linalg.Matrix, rhs []complex128, op *OPResult) {
-	addG := func(r, c int, g float64) {
-		if r >= 0 && c >= 0 {
-			G.Add(r, c, g)
-		}
-	}
-	stampConductance := func(n1, n2 int, g float64) {
-		r1, r2 := row(n1), row(n2)
-		addG(r1, r1, g)
-		addG(r2, r2, g)
-		addG(r1, r2, -g)
-		addG(r2, r1, -g)
-	}
-	stampCap := func(n1, n2 int, c float64) {
-		r1, r2 := row(n1), row(n2)
-		if r1 >= 0 {
-			C.Add(r1, r1, c)
-		}
-		if r2 >= 0 {
-			C.Add(r2, r2, c)
-		}
-		if r1 >= 0 && r2 >= 0 {
-			C.Add(r1, r2, -c)
-			C.Add(r2, r1, -c)
-		}
-	}
-	stampGm := func(out1, out2, cp, cn int, gm float64) {
-		// Current gm·(v(cp)-v(cn)) flows out of node out1 into out2.
-		addG(row(out1), row(cp), gm)
-		addG(row(out1), row(cn), -gm)
-		addG(row(out2), row(cp), -gm)
-		addG(row(out2), row(cn), gm)
-	}
-	// Tiny conductance to ground keeps floating nodes solvable.
-	for i := 0; i < e.nNodes; i++ {
-		G.Add(i, i, e.opts.GminFinal)
-	}
-
-	branchIdx := 0
-	for _, d := range e.ckt.Devices {
-		switch t := d.(type) {
-		case *netlist.Resistor:
-			stampConductance(t.N1, t.N2, 1/t.R)
-		case *netlist.Capacitor:
-			stampCap(t.N1, t.N2, t.C)
-		case *netlist.ISource:
-			if t.ACMag != 0 {
-				// AC current NP -> NN through source.
-				if r := row(t.NP); r >= 0 {
-					rhs[r] -= complex(t.ACMag, 0)
-				}
-				if r := row(t.NN); r >= 0 {
-					rhs[r] += complex(t.ACMag, 0)
-				}
-			}
-		case *netlist.VCCS:
-			stampGm(t.NP, t.NN, t.NCP, t.NCN, t.Gm)
-		case *netlist.VSource:
-			bi := e.nNodes + branchIdx
-			addG(row(t.NP), bi, 1)
-			addG(row(t.NN), bi, -1)
-			addG(bi, row(t.NP), 1)
-			addG(bi, row(t.NN), -1)
-			rhs[bi] = complex(t.ACMag, 0)
-			branchIdx++
-		case *netlist.VCVS:
-			bi := e.nNodes + branchIdx
-			addG(row(t.NP), bi, 1)
-			addG(row(t.NN), bi, -1)
-			addG(bi, row(t.NP), 1)
-			addG(bi, row(t.NN), -1)
-			addG(bi, row(t.NCP), -t.Gain)
-			addG(bi, row(t.NCN), t.Gain)
-			branchIdx++
-		case *netlist.Mosfet:
-			mop, swapped := evalMosfetAtOP(t, op)
-			dN, gN, sN, bN := t.D, t.G, t.S, t.B
-			if swapped {
-				dN, sN = sN, dN
-			}
-			// Transconductances: i_d = gm·vgs + gmb·vbs (identical stamp for
-			// NMOS and PMOS in the circuit frame).
-			stampGm(dN, sN, gN, sN, mop.Gm)
-			stampGm(dN, sN, bN, sN, mop.Gmb)
-			stampConductance(dN, sN, mop.Gds)
-			stampCap(gN, sN, mop.Cgs)
-			stampCap(gN, dN, mop.Cgd)
-			stampCap(dN, bN, mop.Cdb)
-			stampCap(sN, bN, mop.Csb)
-		}
-	}
-}
-
-// evalMosfetAtOP re-derives the device linearization from the stored DC
-// solution (including the drain/source orientation used there).
-func evalMosfetAtOP(m *netlist.Mosfet, op *OPResult) (mosOP, bool) {
-	o, swapped := evalMosfet(m, op.V)
-	return mosOP{Gm: o.Gm, Gds: o.Gds, Gmb: o.Gmb, Cgs: o.Cgs, Cgd: o.Cgd, Cdb: o.Cdb, Csb: o.Csb}, swapped
-}
-
-// mosOP is the subset of the device operating point the AC stamps need.
-type mosOP struct {
-	Gm, Gds, Gmb       float64
-	Cgs, Cgd, Cdb, Csb float64
 }

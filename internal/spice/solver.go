@@ -1,0 +1,76 @@
+package spice
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// SolverKind selects the linear solver backing every MNA solve of an engine:
+// the DC Newton iterations, the AC sweep and the transient steps all go
+// through the same choice, so a run's results are a deterministic function
+// of the knob (Workers=1 vs N stay bit-identical — the choice is uniform
+// per engine, not per sample).
+type SolverKind int
+
+const (
+	// SolverAuto picks sparse for systems of at least sparseAutoMin
+	// unknowns and dense below, where the pivot-searching dense kernel
+	// still wins on pure locality. The MOHECO_SOLVER environment variable
+	// ("dense" or "sparse") overrides the choice without code edits — the
+	// hook the CI benchmark job uses to track both solvers.
+	SolverAuto SolverKind = iota
+	// SolverDense forces the dense LU path with partial pivoting.
+	SolverDense
+	// SolverSparse forces the static-pattern sparse LU path with symbolic
+	// factorization reuse. Structurally singular patterns still fall back
+	// to dense silently: partial pivoting may cope where static analysis
+	// cannot.
+	SolverSparse
+)
+
+// sparseAutoMin is the system size at which SolverAuto switches to the
+// sparse path. Measured on the registered scenarios the crossover is low:
+// even the quickstart common-source stage (a 6×6 system) runs ~20% faster
+// sparse, because the static pattern also removes the pivot search from
+// every complex AC solve; the folded-cascode testbench (19 unknowns) runs
+// 2.7× faster. Below the threshold the dense kernel's locality wins and
+// partial pivoting is the more defensive default for degenerate toy
+// systems.
+const sparseAutoMin = 6
+
+// String implements fmt.Stringer.
+func (k SolverKind) String() string {
+	switch k {
+	case SolverAuto:
+		return "auto"
+	case SolverDense:
+		return "dense"
+	case SolverSparse:
+		return "sparse"
+	}
+	return fmt.Sprintf("SolverKind(%d)", int(k))
+}
+
+// ParseSolver converts a command-line spelling into a SolverKind.
+func ParseSolver(s string) (SolverKind, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "auto":
+		return SolverAuto, nil
+	case "dense":
+		return SolverDense, nil
+	case "sparse":
+		return SolverSparse, nil
+	}
+	return SolverAuto, fmt.Errorf("spice: unknown solver %q (want auto, dense or sparse)", s)
+}
+
+// envSolver is the MOHECO_SOLVER override, read once like the debug knob.
+var envSolver = func() SolverKind {
+	k, err := ParseSolver(os.Getenv("MOHECO_SOLVER"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err, "- ignoring MOHECO_SOLVER")
+		return SolverAuto
+	}
+	return k
+}()

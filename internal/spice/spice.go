@@ -12,6 +12,7 @@ import (
 	"os"
 
 	"github.com/eda-go/moheco/internal/linalg"
+	"github.com/eda-go/moheco/internal/linalg/sparse"
 	"github.com/eda-go/moheco/internal/mos"
 	"github.com/eda-go/moheco/internal/netlist"
 )
@@ -32,6 +33,11 @@ type Options struct {
 	GminStart float64 // initial gmin for stepping (default 1e-3 S)
 	GminFinal float64 // final gmin left in the matrix (default 1e-12 S)
 	MaxStep   float64 // Newton step damping limit per node (default 0.5 V)
+	// Solver selects the linear-solver backend (dense LU with partial
+	// pivoting, or static-pattern sparse LU with symbolic factorization
+	// reuse). The zero value SolverAuto sizes the choice automatically and
+	// honours the MOHECO_SOLVER environment override.
+	Solver SolverKind
 	// Nodeset seeds the DC solve with initial node voltages (by node name),
 	// the classic .nodeset escape hatch for circuits with high-gain
 	// feedback loops.
@@ -57,6 +63,9 @@ func (o Options) withDefaults() Options {
 	if o.MaxStep == 0 {
 		o.MaxStep = 0.5
 	}
+	if o.Solver == SolverAuto && envSolver != SolverAuto {
+		o.Solver = envSolver
+	}
 	return o
 }
 
@@ -74,20 +83,36 @@ type Engine struct {
 	branches []branch
 	size     int // nNodes + len(branches)
 
-	// Newton scratch, sized once in New: Jacobian, residual, step/RHS and
-	// the node-voltage view consumed by the device models.
+	// plan caches every device's direct stamp indices (resolved once in
+	// New), shared by the DC, AC and transient assemblies of both solver
+	// backends.
+	plan *stampPlan
+
+	// Sparse backend: the symbolic factorization computed once in New and
+	// the Newton Jacobian over it. nil on the dense path.
+	sym *sparse.Symbolic
+	spA *sparse.Matrix[float64]
+
+	// Newton scratch, sized once in New: Jacobian (dense path; its Data
+	// carries one extra write-off element), residual with a trailing
+	// write-off row, step/RHS and the node-voltage view consumed by the
+	// device models.
 	scrJ  *linalg.Matrix
 	scrF  []float64
 	scrDX []float64
 	scrV  []float64
 
 	// AC scratch, allocated lazily on the first AC call: the
-	// frequency-independent G/C split, the assembled complex system and
-	// its RHS/solution buffers.
-	acG, acC *linalg.Matrix
-	acY      *linalg.CMatrix
-	acRHS    []complex128
-	acX      []complex128
+	// frequency-independent G/C split (plain stamped value arrays with the
+	// trailing write-off slot; only the assembled complex system needs a
+	// matrix type), the assembled complex system and its RHS/solution
+	// buffers. Dense and sparse variants mirror each other.
+	acGv, acCv []float64
+	acY        *linalg.CMatrix
+	spG, spC   *sparse.Matrix[float64]
+	spY        *sparse.Matrix[complex128]
+	acRHS      []complex128
+	acX        []complex128
 }
 
 // branch is an extra MNA current unknown (V and E elements).
@@ -95,7 +120,11 @@ type branch struct {
 	dev netlist.Device
 }
 
-// New builds an engine for the circuit.
+// New builds an engine for the circuit. Besides validating the netlist it
+// runs the engine's one-time assembly analysis: the structural pattern of
+// the MNA system is enumerated once, the sparse backend (when selected)
+// computes its symbolic factorization from it, and every device resolves
+// its stamp positions to direct value-array indices.
 func New(ckt *netlist.Circuit, opts Options) (*Engine, error) {
 	if err := ckt.Validate(); err != nil {
 		return nil, err
@@ -108,12 +137,39 @@ func New(ckt *netlist.Circuit, opts Options) (*Engine, error) {
 		}
 	}
 	e.size = e.nNodes + len(e.branches)
-	e.scrJ = linalg.NewMatrix(e.size, e.size)
-	e.scrF = make([]float64, e.size)
+	if e.opts.Solver == SolverSparse || (e.opts.Solver == SolverAuto && e.size >= sparseAutoMin) {
+		// A structurally singular pattern (no diagonal assignment exists)
+		// falls back to dense: partial pivoting may still cope, and the
+		// netlist passed Validate.
+		if sym, err := e.analyzePattern(); err == nil {
+			e.sym = sym
+			e.spA = sparse.NewMatrix[float64](sym)
+			e.plan = e.buildPlan(sym.Index)
+		}
+	}
+	if e.sym == nil {
+		n := e.size
+		// One trailing element beyond Rows×Cols: the write-off slot ground
+		// stamps land in. The LU kernels only address Rows×Cols.
+		e.scrJ = linalg.NewMatrixTrailing(n, n, 1)
+		e.plan = e.buildPlan(func(r, c int) int {
+			if r < 0 || c < 0 {
+				return n * n
+			}
+			return r*n + c
+		})
+	}
+	e.scrF = make([]float64, e.size+1)
 	e.scrDX = make([]float64, e.size)
 	e.scrV = make([]float64, ckt.NumNodes())
 	return e, nil
 }
+
+// Sparse reports whether the engine resolved to the sparse backend.
+func (e *Engine) Sparse() bool { return e.sym != nil }
+
+// Size returns the MNA system size (node unknowns plus branch currents).
+func (e *Engine) Size() int { return e.size }
 
 // row maps a node index to its MNA row, or -1 for ground.
 func row(node int) int { return node - 1 }
@@ -295,24 +351,39 @@ type stampCtx struct {
 }
 
 // newton iterates x toward F(x)=0 under the given stamping context. It
-// works entirely in the engine's preallocated scratch: the Jacobian is
-// factored in place and the step vector shares the RHS buffer, so one
-// iteration allocates nothing.
+// works entirely in the engine's preallocated scratch: devices stamp
+// through their cached value-array indices, the Jacobian is factored in
+// place (dense LU, or sparse refactorization inside the precomputed fill
+// pattern) and the step vector shares the RHS buffer, so one iteration
+// allocates nothing.
 func (e *Engine) newton(x []float64, ctx stampCtx) (int, error) {
-	J, F, dx := e.scrJ, e.scrF, e.scrDX
+	F, dx := e.scrF, e.scrDX
 	for iter := 1; iter <= e.opts.MaxIter; iter++ {
-		J.Zero()
+		var vals []float64
+		if e.spA != nil {
+			e.spA.Zero()
+			vals = e.spA.Values()
+		} else {
+			e.scrJ.Zero()
+			vals = e.scrJ.Data
+		}
 		for i := range F {
 			F[i] = 0
 		}
-		e.stamp(J, F, x, ctx)
+		e.plan.stampDC(vals, F, x, e.scrV, ctx)
 
-		// Solve J·dx = -F (in place: J becomes its LU factors, dx starts
-		// as the negated residual and ends as the step).
-		for i := range F {
+		// Solve J·dx = -F (in place: the stamped values become the LU
+		// factors, dx starts as the negated residual and ends as the step).
+		for i := range dx {
 			dx[i] = -F[i]
 		}
-		if err := linalg.SolveInPlace(J, dx); err != nil {
+		var err error
+		if e.spA != nil {
+			err = e.spA.FactorSolve(dx)
+		} else {
+			err = linalg.SolveInPlace(e.scrJ, dx)
+		}
+		if err != nil {
 			return iter, fmt.Errorf("%w: singular Jacobian", ErrNoConvergence)
 		}
 		// Damping: clamp each node-voltage update independently so one
@@ -320,7 +391,7 @@ func (e *Engine) newton(x []float64, ctx stampCtx) (int, error) {
 		// cannot stall progress everywhere else.
 		if debugSpice {
 			fmt.Printf("spice debug: gmin=%.1e iter=%d maxDV=%.3e |F|=%.3e\n",
-				ctx.gmin, iter, linalg.NormInf(dx[:e.nNodes]), linalg.NormInf(F))
+				ctx.gmin, iter, linalg.NormInf(dx[:e.nNodes]), linalg.NormInf(F[:e.size]))
 		}
 		done := true
 		clamped := false
@@ -348,106 +419,6 @@ func (e *Engine) newton(x []float64, ctx stampCtx) (int, error) {
 	return e.opts.MaxIter, ErrNoConvergence
 }
 
-// stamp builds the Jacobian and residual at x. F is the KCL residual per
-// node row plus the branch equations; J is ∂F/∂x.
-func (e *Engine) stamp(J *linalg.Matrix, F []float64, x []float64, ctx stampCtx) {
-	v := func(node int) float64 {
-		if node == netlist.Ground {
-			return 0
-		}
-		return x[row(node)]
-	}
-	addJ := func(r, c int, g float64) {
-		if r >= 0 && c >= 0 {
-			J.Add(r, c, g)
-		}
-	}
-	addF := func(r int, val float64) {
-		if r >= 0 {
-			F[r] += val
-		}
-	}
-	// gmin from every non-ground node to ground.
-	for i := 0; i < e.nNodes; i++ {
-		J.Add(i, i, ctx.gmin)
-		F[i] += ctx.gmin * x[i]
-	}
-
-	branchIdx := 0
-	for _, d := range e.ckt.Devices {
-		switch t := d.(type) {
-		case *netlist.Resistor:
-			g := 1 / t.R
-			r1, r2 := row(t.N1), row(t.N2)
-			dv := v(t.N1) - v(t.N2)
-			addF(r1, g*dv)
-			addF(r2, -g*dv)
-			addJ(r1, r1, g)
-			addJ(r2, r2, g)
-			addJ(r1, r2, -g)
-			addJ(r2, r1, -g)
-		case *netlist.Capacitor:
-			// Open in DC; backward-Euler companion in transient.
-			if ctx.h > 0 {
-				g := t.C / ctx.h
-				r1, r2 := row(t.N1), row(t.N2)
-				dv := v(t.N1) - v(t.N2)
-				dvPrev := ctx.vPrev[t.N1] - ctx.vPrev[t.N2]
-				i := g * (dv - dvPrev)
-				addF(r1, i)
-				addF(r2, -i)
-				addJ(r1, r1, g)
-				addJ(r2, r2, g)
-				addJ(r1, r2, -g)
-				addJ(r2, r1, -g)
-			}
-		case *netlist.ISource:
-			// Current flows NP -> NN through the source: leaves NN, enters NP
-			// externally; KCL residual: current leaving node.
-			val := ctx.srcScale * t.SourceValue(ctx.time)
-			addF(row(t.NP), val)
-			addF(row(t.NN), -val)
-		case *netlist.VCCS:
-			gm := t.Gm
-			vc := v(t.NCP) - v(t.NCN)
-			addF(row(t.NP), gm*vc)
-			addF(row(t.NN), -gm*vc)
-			addJ(row(t.NP), row(t.NCP), gm)
-			addJ(row(t.NP), row(t.NCN), -gm)
-			addJ(row(t.NN), row(t.NCP), -gm)
-			addJ(row(t.NN), row(t.NCN), gm)
-		case *netlist.VSource:
-			bi := e.nNodes + branchIdx
-			i := x[bi]
-			addF(row(t.NP), i)
-			addF(row(t.NN), -i)
-			addJ(row(t.NP), bi, 1)
-			addJ(row(t.NN), bi, -1)
-			// Branch equation: v(NP) - v(NN) - V = 0.
-			F[bi] += v(t.NP) - v(t.NN) - ctx.srcScale*t.SourceValue(ctx.time)
-			addJ(bi, row(t.NP), 1)
-			addJ(bi, row(t.NN), -1)
-			branchIdx++
-		case *netlist.VCVS:
-			bi := e.nNodes + branchIdx
-			i := x[bi]
-			addF(row(t.NP), i)
-			addF(row(t.NN), -i)
-			addJ(row(t.NP), bi, 1)
-			addJ(row(t.NN), bi, -1)
-			// v(NP) - v(NN) - gain·(v(NCP)-v(NCN)) = 0.
-			F[bi] += v(t.NP) - v(t.NN) - t.Gain*(v(t.NCP)-v(t.NCN))
-			addJ(bi, row(t.NP), 1)
-			addJ(bi, row(t.NN), -1)
-			addJ(bi, row(t.NCP), -t.Gain)
-			addJ(bi, row(t.NCN), t.Gain)
-			branchIdx++
-		case *netlist.Mosfet:
-			e.stampMosfet(J, F, x, t)
-		}
-	}
-}
-
 // evalMosfet computes the operating point of m given node voltages V
 // (indexed by netlist node id), handling polarity and source/drain swap.
 // swapped reports whether drain and source were exchanged.
@@ -468,58 +439,4 @@ func evalMosfet(m *netlist.Mosfet, V []float64) (op mos.OP, swapped bool) {
 		op = m.Dev.Evaluate(vg-vs, vd-vs, vb-vs)
 	}
 	return op, swapped
-}
-
-// stampMosfet adds the companion model of one MOSFET.
-func (e *Engine) stampMosfet(J *linalg.Matrix, F []float64, x []float64, m *netlist.Mosfet) {
-	V := e.scrV
-	V[netlist.Ground] = 0
-	for i := 1; i < len(V); i++ {
-		V[i] = x[row(i)]
-	}
-	op, swapped := evalMosfet(m, V)
-	d, g, s, b := m.D, m.G, m.S, m.B
-	if swapped {
-		d, s = s, d
-	}
-	rd, rg, rs, rb := row(d), row(g), row(s), row(b)
-
-	addJ := func(r, c int, val float64) {
-		if r >= 0 && c >= 0 {
-			J.Add(r, c, val)
-		}
-	}
-	addF := func(r int, val float64) {
-		if r >= 0 {
-			F[r] += val
-		}
-	}
-
-	if !m.Dev.Params.PMOS {
-		// NMOS: ID flows d -> s; leaves node d.
-		addF(rd, op.ID)
-		addF(rs, -op.ID)
-		// ∂ID/∂(vg,vd,vb,vs).
-		addJ(rd, rg, op.Gm)
-		addJ(rd, rd, op.Gds)
-		addJ(rd, rb, op.Gmb)
-		addJ(rd, rs, -(op.Gm + op.Gds + op.Gmb))
-		addJ(rs, rg, -op.Gm)
-		addJ(rs, rd, -op.Gds)
-		addJ(rs, rb, -op.Gmb)
-		addJ(rs, rs, op.Gm+op.Gds+op.Gmb)
-	} else {
-		// PMOS: ID flows s -> d; leaves node s.
-		// ID = f(vsg, vsd, vsb): ∂ID/∂vs = gm+gds+gmb, ∂/∂vg = -gm, etc.
-		addF(rs, op.ID)
-		addF(rd, -op.ID)
-		addJ(rs, rs, op.Gm+op.Gds+op.Gmb)
-		addJ(rs, rg, -op.Gm)
-		addJ(rs, rd, -op.Gds)
-		addJ(rs, rb, -op.Gmb)
-		addJ(rd, rs, -(op.Gm + op.Gds + op.Gmb))
-		addJ(rd, rg, op.Gm)
-		addJ(rd, rd, op.Gds)
-		addJ(rd, rb, op.Gmb)
-	}
 }
