@@ -1,0 +1,107 @@
+// Command mohecod is the yield-service daemon: a long-lived HTTP server
+// that runs yield estimates and full optimizations from the scenario
+// registry on a bounded job pool, dedupes identical and in-flight requests
+// through a canonical-key result cache, and streams job progress over SSE.
+//
+// Usage:
+//
+//	mohecod [-addr :8650] [-workers N] [-jobs N] [-cache N] [-queue N] [-quiet]
+//
+// Endpoints (see internal/service):
+//
+//	POST   /v1/yield            submit a yield-estimate job (?wait blocks)
+//	POST   /v1/optimize         submit an optimization job
+//	GET    /v1/jobs             list retained jobs
+//	GET    /v1/jobs/{id}        job status + result (?wait=DUR long-polls)
+//	DELETE /v1/jobs/{id}        cancel a job
+//	GET    /v1/jobs/{id}/events SSE progress stream
+//	GET    /v1/scenarios        the scenario registry
+//	GET    /healthz             liveness + counters
+//
+// Served results are bit-identical to the local CLIs at the same request:
+// `yieldest -server` and `mohecorun -server` run against a shared daemon
+// with no change in output. SIGINT/SIGTERM shut the daemon down cleanly,
+// cancelling in-flight jobs (exit code 0).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	_ "github.com/eda-go/moheco" // link the circuit registry
+	"github.com/eda-go/moheco/internal/scenario"
+	"github.com/eda-go/moheco/internal/service"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8650", "HTTP listen address")
+		workers = flag.Int("workers", 0, "simulation goroutines per running job (0 = GOMAXPROCS; results are identical)")
+		jobs    = flag.Int("jobs", 0, "concurrently running jobs (0 = 2)")
+		cache   = flag.Int("cache", 0, "completed jobs retained for result reuse (0 = 256)")
+		queue   = flag.Int("queue", 0, "pending-job queue bound (0 = 256)")
+		quiet   = flag.Bool("quiet", false, "suppress per-job log lines")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: mohecod [flags]\n\n")
+		flag.PrintDefaults()
+		fmt.Fprintf(flag.CommandLine.Output(), "\n%s", scenario.Usage())
+	}
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "mohecod: ", log.LstdFlags)
+	cfg := service.Config{
+		Workers:   *workers,
+		Jobs:      *jobs,
+		QueueSize: *queue,
+		CacheSize: *cache,
+	}
+	if !*quiet {
+		cfg.Log = logger
+	}
+	svc := service.New(cfg)
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		logger.Printf("serving %d scenarios on %s", len(scenario.Names()), *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		// Listen failed before any shutdown request.
+		logger.Fatal(err)
+	case <-ctx.Done():
+	}
+	logger.Printf("shutting down")
+	// Close the service first: it cancels every live job, which unblocks
+	// ?wait long-polls and ends SSE streams, so the HTTP drain below does
+	// not sit on open streams until its deadline.
+	svc.Close()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		logger.Printf("shutdown: %v", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Fatal(err)
+	}
+	logger.Printf("clean shutdown (%d simulations served)", svc.Sims())
+}

@@ -6,12 +6,18 @@
 //
 //	mohecorun [-problem NAME] [-method NAME] [-maxsims N] [-seed S]
 //	          [-maxgens N] [-ref N] [-workers N] [-trace]
+//	          [-timeout DUR] [-server URL]
 //
 // Problems come from the scenario registry (-h lists them); methods are
-// moheco, oo and fixed.
+// moheco, oo and fixed. With -server, the optimization runs on a mohecod
+// daemon (bit-identical result at the same request; -trace and -fixedsims
+// are local-only). -timeout cancels the run — local or served — when it
+// expires; the command then exits with code 2.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +25,8 @@ import (
 
 	moheco "github.com/eda-go/moheco"
 	"github.com/eda-go/moheco/internal/scenario"
+	"github.com/eda-go/moheco/internal/service"
+	"github.com/eda-go/moheco/internal/yieldsim"
 )
 
 func main() {
@@ -32,6 +40,8 @@ func main() {
 		refN     = flag.Int("ref", -1, "reference MC samples for the final check (-1 = problem default, 0 to skip)")
 		workers  = flag.Int("workers", 0, "evaluation worker goroutines (0 = GOMAXPROCS, 1 = sequential; results are identical)")
 		trace    = flag.Bool("trace", false, "print per-generation progress")
+		timeout  = flag.Duration("timeout", 0, "cancel the optimization after this duration (exit code 2)")
+		server   = flag.String("server", "", "mohecod daemon URL (e.g. http://127.0.0.1:8650); empty = run locally")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: mohecorun [flags]\n\n")
@@ -63,10 +73,18 @@ func main() {
 		fatal(fmt.Errorf("unknown method %q", *method))
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	opts := moheco.DefaultOptions(m, *maxSims)
 	opts.Seed = *seed
 	opts.MaxGenerations = *maxGens
 	opts.Workers = *workers
+	opts.Ctx = ctx
 	if *fixed > 0 {
 		opts.FixedSims = *fixed
 	}
@@ -75,9 +93,39 @@ func main() {
 		p.Name(), p.Dim(), p.VarDim())
 	fmt.Printf("method  : %s (stage-2 budget %d)\n", m, *maxSims)
 	start := time.Now()
-	res, err := moheco.Optimize(p, opts)
-	if err != nil {
-		fatal(err)
+	var res *moheco.Result
+	if *server != "" {
+		st, cerr := service.NewClient(*server).Optimize(ctx, service.OptimizeRequest{
+			Scenario: *probName,
+			Method:   *method,
+			MaxSims:  *maxSims,
+			MaxGens:  *maxGens,
+			Seed:     seed,
+		})
+		if cerr != nil {
+			fatalCtx(ctx, cerr)
+		}
+		o := st.Optimize
+		res = &moheco.Result{
+			Problem:     p.Name(),
+			Method:      m,
+			BestX:       o.BestX,
+			BestYield:   o.BestYield,
+			BestSamples: o.BestSamples,
+			Feasible:    o.Feasible,
+			TotalSims:   o.TotalSims,
+			Generations: o.Generations,
+			StopReason:  o.StopReason,
+		}
+		if st.Cached {
+			res.StopReason += " (coalesced/cached result)"
+		}
+	} else {
+		var err error
+		res, err = moheco.Optimize(p, opts)
+		if err != nil {
+			fatalCtx(ctx, err)
+		}
 	}
 	if *trace {
 		for _, r := range res.History {
@@ -106,9 +154,28 @@ func main() {
 		}
 	}
 	if *refN > 0 {
-		ref, err := moheco.EstimateYieldWorkers(p, res.BestX, *refN, *seed+777, *workers)
-		if err != nil {
-			fatal(err)
+		// The reference check honours -timeout and, under -server, runs
+		// on the daemon too (hitting its result cache), so "where the
+		// simulations burn" stays the flag's only effect.
+		var ref float64
+		if *server != "" {
+			st, cerr := service.NewClient(*server).Yield(ctx, service.YieldRequest{
+				Scenario: *probName,
+				X:        res.BestX,
+				N:        *refN,
+				Seed:     service.Seed(*seed + 777),
+			})
+			if cerr != nil {
+				fatalCtx(ctx, cerr)
+			}
+			ref = st.Yield.Yield
+		} else {
+			var rerr error
+			ref, _, rerr = yieldsim.ReferenceCtx(ctx, p, res.BestX, *refN, *seed+777,
+				yieldsim.RefOptions{Workers: *workers})
+			if rerr != nil {
+				fatalCtx(ctx, rerr)
+			}
 		}
 		fmt.Printf("reference yield (%d MC samples): %.2f%% (deviation %.2f%%)\n",
 			*refN, 100*ref, 100*(res.BestYield-ref))
@@ -117,5 +184,15 @@ func main() {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "mohecorun:", err)
+	os.Exit(1)
+}
+
+// fatalCtx reports the error and exits 2 when the run was cut short by the
+// -timeout deadline, 1 otherwise.
+func fatalCtx(ctx context.Context, err error) {
+	fmt.Fprintln(os.Stderr, "mohecorun:", err)
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		os.Exit(2)
+	}
 	os.Exit(1)
 }

@@ -5,13 +5,20 @@
 // Usage:
 //
 //	yieldest -problem foldedcascode [-n N] [-seed S] [-workers N] [-x "v1,v2,..."]
+//	         [-sampler pmc|lhs|halton] [-timeout DUR] [-server URL]
 //
 // Without -x, the problem's built-in reference design is analyzed; without
 // -n, the problem's default reference sample count is used. Problems come
-// from the scenario registry (-h lists them).
+// from the scenario registry (-h lists them). With -server, the estimate is
+// served by a mohecod daemon — results are bit-identical to the local path
+// at the same (problem, x, n, seed, sampler), so the flag only changes
+// where the simulations burn. -timeout cancels the run (local or served)
+// when it expires; the command then exits with code 2.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -19,10 +26,13 @@ import (
 	"strings"
 	"time"
 
-	moheco "github.com/eda-go/moheco"
+	_ "github.com/eda-go/moheco" // link the circuit registry
 	"github.com/eda-go/moheco/internal/constraint"
 	"github.com/eda-go/moheco/internal/profiling"
+	"github.com/eda-go/moheco/internal/sample"
 	"github.com/eda-go/moheco/internal/scenario"
+	"github.com/eda-go/moheco/internal/service"
+	"github.com/eda-go/moheco/internal/yieldsim"
 )
 
 func main() {
@@ -32,6 +42,9 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "random seed")
 		workers  = flag.Int("workers", 0, "evaluation worker goroutines (0 = GOMAXPROCS, 1 = sequential; results are identical)")
 		xFlag    = flag.String("x", "", "comma-separated design vector (default: reference design)")
+		sampler  = flag.String("sampler", "pmc", "sample plan: pmc | lhs | halton")
+		timeout  = flag.Duration("timeout", 0, "cancel the estimate after this duration (exit code 2)")
+		server   = flag.String("server", "", "mohecod daemon URL (e.g. http://127.0.0.1:8650); empty = run locally")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -48,6 +61,13 @@ func main() {
 	}
 	defer stopProfiles()
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	sc, err := scenario.Get(*probName)
 	if err != nil {
 		fatal(err)
@@ -55,6 +75,10 @@ func main() {
 	p := sc.New()
 	if *n <= 0 {
 		*n = sc.DefaultRefSamples
+	}
+	plan, err := sample.ByName(*sampler)
+	if err != nil {
+		fatal(err)
 	}
 
 	x, hasRef := scenario.ReferenceDesign(p)
@@ -93,16 +117,50 @@ func main() {
 	if !feasible {
 		fmt.Printf("total violation: %.4g\n", constraint.TotalViolation(p.Specs(), perf))
 	}
+
 	start := time.Now()
-	y, err := moheco.EstimateYieldWorkers(p, x, *n, *seed, *workers)
-	if err != nil {
-		fatal(err)
+	var y float64
+	where := "local"
+	if *server != "" {
+		where = *server
+		st, cerr := service.NewClient(*server).Yield(ctx, service.YieldRequest{
+			Scenario: *probName,
+			X:        x,
+			N:        *n,
+			Seed:     seed,
+			Sampler:  plan.Name(),
+		})
+		if cerr != nil {
+			fatalCtx(ctx, cerr)
+		}
+		y = st.Yield.Yield
+		if st.Cached {
+			where += " (coalesced/cached)"
+		}
+	} else {
+		y, _, err = yieldsim.ReferenceCtx(ctx, p, x, *n, *seed, yieldsim.RefOptions{
+			Workers: *workers,
+			Sampler: plan,
+		})
+		if err != nil {
+			fatalCtx(ctx, err)
+		}
 	}
-	fmt.Printf("yield: %.3f%% (%d MC samples, %s)\n",
-		100*y, *n, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("yield: %.3f%% (%d MC samples, plan %s, %s, %s)\n",
+		100*y, *n, plan.Name(), where, time.Since(start).Round(time.Millisecond))
 }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "yieldest:", err)
+	os.Exit(1)
+}
+
+// fatalCtx reports the error and exits 2 when the run was cut short by the
+// -timeout deadline, 1 otherwise.
+func fatalCtx(ctx context.Context, err error) {
+	fmt.Fprintln(os.Stderr, "yieldest:", err)
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		os.Exit(2)
+	}
 	os.Exit(1)
 }

@@ -1,3 +1,3 @@
 module github.com/eda-go/moheco
 
-go 1.21
+go 1.22

@@ -22,6 +22,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/eda-go/moheco/internal/constraint"
@@ -112,6 +113,28 @@ type Options struct {
 	// runs through it. Each candidate owns an independent random stream,
 	// so results are bit-identical regardless of the worker count.
 	Workers int
+
+	// Ctx, when non-nil, cancels the run: the generation loop checks it
+	// at each generation boundary and every candidate's sample batches
+	// observe it chunk by chunk, so a cancelled optimization stops
+	// spending simulations within one evaluation chunk per worker and
+	// Optimize returns the context's error. Cancellation never changes a
+	// completed run's result.
+	Ctx context.Context
+
+	// OnGeneration, when non-nil, is called after each generation's
+	// bookkeeping with that generation's record — the progress feed the
+	// yield service streams to clients. It runs on the optimizer's
+	// goroutine; implementations must be fast and must not retain the
+	// record's slices past the call.
+	OnGeneration func(GenRecord)
+
+	// Counter, when non-nil, replaces the run's private simulation
+	// counter, letting a host (the yield service, experiment harnesses)
+	// account simulator calls across runs. Totals are identical either
+	// way; Result.TotalSims still reports only this run's simulations
+	// when the counter started at zero.
+	Counter *yieldsim.Counter
 
 	// RecordPopulations stores per-generation feasible-candidate snapshots
 	// in the history (needed by the Fig. 3 and §3.4 experiments).
@@ -240,7 +263,13 @@ func Optimize(p problem.Problem, opts Options) (*Result, error) {
 	}
 	lo, hi := p.Bounds()
 	rng := randx.New(o.Seed)
-	counter := &yieldsim.Counter{}
+	counter := o.Counter
+	if counter == nil {
+		counter = &yieldsim.Counter{}
+	}
+	// A host-shared counter may start non-zero; per-run accounting
+	// (GenRecord.CumSims, Result.TotalSims) is relative to this base.
+	simBase := counter.Total()
 	// Candidates are created with sequential batches; each evaluation
 	// path retunes them via SetWorkers — the population estimate splits
 	// the pool between its cross-candidate fan-out and the candidates'
@@ -252,6 +281,7 @@ func Optimize(p problem.Problem, opts Options) (*Result, error) {
 		Sampler:            o.Sampler,
 		AcceptanceSampling: o.AcceptanceSampling,
 		Workers:            1,
+		Ctx:                o.Ctx,
 	}
 	manager := &oo.Manager{
 		N0: o.N0, SimAve: o.SimAve, Delta: o.Delta,
@@ -271,7 +301,7 @@ func Optimize(p problem.Problem, opts Options) (*Result, error) {
 	// screen computes every member's nominal fitness on the worker pool:
 	// the checks are independent and the simulation counter is atomic.
 	screen := func(ms []*member) error {
-		return engine.ForEachN(o.Workers, len(ms), func(i int) error {
+		return engine.ForEachNCtx(o.Ctx, o.Workers, len(ms), func(i int) error {
 			ms[i].fit = nominal(ms[i].x)
 			return nil
 		})
@@ -306,13 +336,13 @@ func Optimize(p problem.Problem, opts Options) (*Result, error) {
 		switch o.Method {
 		case MethodFixedBudget:
 			// Candidates sample independent streams: evaluate in parallel.
-			if err := sampleAll(feas, o.Workers, o.FixedSims); err != nil {
+			if err := sampleAll(o.Ctx, feas, o.Workers, o.FixedSims); err != nil {
 				return err
 			}
 		default:
 			// The initial n0 samples per candidate are independent; the
 			// OCBA rounds that follow parallelize within each round.
-			if err := sampleAll(feas, o.Workers, o.N0); err != nil {
+			if err := sampleAll(o.Ctx, feas, o.Workers, o.N0); err != nil {
 				return err
 			}
 			group := make([]ocba.Candidate, len(feas))
@@ -358,6 +388,9 @@ func Optimize(p problem.Problem, opts Options) (*Result, error) {
 	popX := make([][]float64, o.PopSize)
 	gen := 0
 	for gen = 1; gen <= o.MaxGenerations; gen++ {
+		if o.Ctx != nil && o.Ctx.Err() != nil {
+			return nil, o.Ctx.Err()
+		}
 		// Steps 1–2: base vector selection, DE mutation and crossover.
 		for i, m := range pop {
 			popX[i] = m.x
@@ -452,7 +485,7 @@ func Optimize(p problem.Problem, opts Options) (*Result, error) {
 			BestYield:     pop[best].fit.Yield,
 			BestFeasible:  pop[best].fit.Feasible,
 			BestViolation: pop[best].fit.Violation,
-			CumSims:       counter.Total(),
+			CumSims:       counter.Total() - simBase,
 		}
 		for _, tr := range trials {
 			if tr.fit.Feasible {
@@ -466,6 +499,9 @@ func Optimize(p problem.Problem, opts Options) (*Result, error) {
 			}
 		}
 		res.History = append(res.History, rec)
+		if o.OnGeneration != nil {
+			o.OnGeneration(rec)
+		}
 
 		// Step 11: stopping criteria.
 		if pop[best].fit.Feasible && pop[best].fit.Yield >= o.TargetYield {
@@ -497,7 +533,7 @@ func Optimize(p problem.Problem, opts Options) (*Result, error) {
 	res.BestX = append([]float64(nil), b.x...)
 	res.BestYield = b.fit.Yield
 	res.Feasible = b.fit.Feasible
-	res.TotalSims = counter.Total()
+	res.TotalSims = counter.Total() - simBase
 	res.Generations = gen
 	res.StopReason = reason
 	return res, nil
@@ -602,8 +638,8 @@ func sameVec(a, b []float64) bool {
 // worker pool. Per-candidate sample streams are private, so the result is
 // independent of scheduling, and the engine reports errors in candidate
 // order rather than goroutine-completion order.
-func sampleAll(ms []*member, workers, n int) error {
-	return engine.ForEachN(workers, len(ms), func(i int) error {
+func sampleAll(ctx context.Context, ms []*member, workers, n int) error {
+	return engine.ForEachNCtx(ctx, workers, len(ms), func(i int) error {
 		return ms[i].cand.EnsureSamples(n)
 	})
 }

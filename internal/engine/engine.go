@@ -39,6 +39,7 @@
 package engine
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -88,12 +89,26 @@ func Split(workers, n int) int {
 // the reported error does not depend on scheduling; once any item has
 // failed, workers stop claiming new items (items already in flight finish).
 func ForEachN(workers, n int, fn func(i int) error) error {
+	return ForEachNCtx(nil, workers, n, fn)
+}
+
+// ForEachNCtx is ForEachN under a cancellation context (nil means never
+// cancelled). Workers stop claiming new items once the context is done —
+// items already in flight finish, so a caller observes cancellation within
+// one item's worth of work per worker. When the run is cut short by the
+// context and no item failed on its own, the context's error is returned;
+// item errors keep ForEachN's deterministic lowest-index precedence.
+func ForEachNCtx(ctx context.Context, workers, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
+	done := func() bool { return ctx != nil && ctx.Err() != nil }
 	workers = Resolve(workers, n)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			if done() {
+				return ctx.Err()
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -111,7 +126,7 @@ func ForEachN(workers, n int, fn func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for {
-				if failed.Load() {
+				if failed.Load() || done() {
 					return
 				}
 				i := int(next.Add(1)) - 1
@@ -132,6 +147,9 @@ func ForEachN(workers, n int, fn func(i int) error) error {
 			return err
 		}
 	}
+	if done() {
+		return ctx.Err()
+	}
 	return nil
 }
 
@@ -140,8 +158,13 @@ func ForEachN(workers, n int, fn func(i int) error) error {
 // lowest-index error is returned, alongside the partial results (slots
 // whose fn did not complete hold the zero value).
 func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapCtx[T](nil, workers, n, fn)
+}
+
+// MapCtx is Map under a cancellation context (ForEachNCtx semantics).
+func MapCtx[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
-	err := ForEachN(workers, n, func(i int) error {
+	err := ForEachNCtx(ctx, workers, n, func(i int) error {
 		v, err := fn(i)
 		if err != nil {
 			return err

@@ -1,11 +1,13 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestResolve(t *testing.T) {
@@ -196,5 +198,72 @@ func TestSplit(t *testing.T) {
 	}
 	if got := Split(0, 1); got != runtime.GOMAXPROCS(0) {
 		t.Errorf("Split(0, 1) = %d, want GOMAXPROCS", got)
+	}
+}
+
+func TestForEachNCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	err := ForEachNCtx(ctx, 4, 100, func(i int) error {
+		ran.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("ran %d items under a pre-cancelled context", ran.Load())
+	}
+	// Sequential path too.
+	if err := ForEachNCtx(ctx, 1, 100, func(i int) error { return nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("sequential err = %v, want context.Canceled", err)
+	}
+}
+
+func TestForEachNCtxStopsClaiming(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	const n = 1000
+	err := ForEachNCtx(ctx, 2, n, func(i int) error {
+		if ran.Add(1) == 3 {
+			cancel()
+		}
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Items in flight at cancellation finish; no new ones are claimed.
+	if got := ran.Load(); got >= n/2 {
+		t.Fatalf("ran %d of %d items after early cancellation", got, n)
+	}
+}
+
+func TestForEachNCtxItemErrorPrecedence(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	boom := errors.New("boom")
+	err := ForEachNCtx(ctx, 4, 50, func(i int) error {
+		if i == 7 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want item error", err)
+	}
+}
+
+func TestMapCtxNilContext(t *testing.T) {
+	out, err := MapCtx(nil, 4, 10, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
 	}
 }

@@ -118,6 +118,46 @@ func ReferenceDesign(p problem.Problem) ([]float64, bool) {
 	return nil, false
 }
 
+// Info is the wire-friendly description of one registered scenario — what
+// the yield service reports on GET /v1/scenarios and what a remote client
+// needs to build a request (dimensions, defaults, reference design).
+type Info struct {
+	Name              string    `json:"name"`
+	Summary           string    `json:"summary"`
+	DesignDim         int       `json:"design_dim"`
+	VarDim            int       `json:"var_dim"`
+	DefaultMaxSims    int       `json:"default_max_sims"`
+	DefaultRefSamples int       `json:"default_ref_samples"`
+	HasNetlist        bool      `json:"has_netlist"`
+	ReferenceDesign   []float64 `json:"reference_design,omitempty"`
+}
+
+// Describe instantiates every registered scenario and returns its Info,
+// sorted by name. Constructors run on each call; the registry stays a list
+// of constructors, not instances, so this is a metadata endpoint helper,
+// not a hot path.
+func Describe() []Info {
+	scs := List()
+	out := make([]Info, len(scs))
+	for i, s := range scs {
+		p := s.New()
+		info := Info{
+			Name:              s.Name,
+			Summary:           s.Summary,
+			DesignDim:         p.Dim(),
+			VarDim:            p.VarDim(),
+			DefaultMaxSims:    s.DefaultMaxSims,
+			DefaultRefSamples: s.DefaultRefSamples,
+			HasNetlist:        s.Netlist != nil,
+		}
+		if ref, ok := ReferenceDesign(p); ok {
+			info.ReferenceDesign = append([]float64(nil), ref...)
+		}
+		out[i] = info
+	}
+	return out
+}
+
 // WriteUsage renders the registry as a `-problem` usage table — the block
 // each command appends to its -h output.
 func WriteUsage(w io.Writer) {

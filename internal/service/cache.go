@@ -1,0 +1,41 @@
+package service
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Canonical request keys. Two requests share a key exactly when the
+// library guarantees they produce the bit-identical result, so the key
+// doubles as the result-cache address and the in-flight dedupe handle.
+// Keys are built from the *resolved* request — defaults already filled in —
+// so an explicit `"n": 50000` and an omitted n that resolves to 50000
+// coalesce. Design vectors are encoded as the exact IEEE-754 bit patterns
+// of their coordinates: float formatting would either round (colliding
+// distinct designs) or print spuriously distinct forms of equal values
+// (-0 vs 0 are the only bit-distinct equal floats, and those genuinely may
+// sample differently downstream, so bitwise is the honest equality).
+
+// yieldKey canonicalizes a resolved yield request (Seed non-nil).
+func yieldKey(req YieldRequest) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "yield|%s|n=%d|seed=%d|sampler=%s|x=", req.Scenario, req.N, *req.Seed, req.Sampler)
+	appendBits(&b, req.X)
+	return b.String()
+}
+
+// optimizeKey canonicalizes a resolved optimize request (Seed non-nil).
+func optimizeKey(req OptimizeRequest) string {
+	return fmt.Sprintf("optimize|%s|method=%s|maxsims=%d|maxgens=%d|seed=%d",
+		req.Scenario, req.Method, req.MaxSims, req.MaxGens, *req.Seed)
+}
+
+func appendBits(b *strings.Builder, v []float64) {
+	for i, x := range v {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(b, "%016x", math.Float64bits(x))
+	}
+}

@@ -1,0 +1,202 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"github.com/eda-go/moheco/internal/scenario"
+)
+
+// Client talks to a mohecod daemon. The CLIs use it behind their -server
+// flags, so a laptop `yieldest -server http://host:8650` shares the
+// daemon's warm engines and result cache instead of simulating locally.
+//
+// Submission is asynchronous on the wire; Yield and Optimize hide that by
+// long-polling the job until completion. When the caller's context is
+// cancelled mid-wait (Ctrl-C, -timeout), the client best-effort DELETEs the
+// job so the server stops burning CPU on an abandoned request — unless the
+// result was served from cache or the job was coalesced with someone
+// else's identical in-flight request, in which case it is left alone.
+type Client struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8650".
+	BaseURL string
+	// HTTPClient overrides http.DefaultClient when non-nil.
+	HTTPClient *http.Client
+}
+
+// NewClient returns a client for the daemon at base.
+func NewClient(base string) *Client {
+	return &Client{BaseURL: strings.TrimRight(base, "/")}
+}
+
+// Yield submits a yield-estimate request and blocks until the served
+// result (or the job's failure) arrives.
+func (c *Client) Yield(ctx context.Context, req YieldRequest) (*Status, error) {
+	return c.submitAndAwait(ctx, "/v1/yield", req)
+}
+
+// Optimize submits an optimization request and blocks until completion.
+func (c *Client) Optimize(ctx context.Context, req OptimizeRequest) (*Status, error) {
+	return c.submitAndAwait(ctx, "/v1/optimize", req)
+}
+
+// Status fetches a job's current status.
+func (c *Client) Status(ctx context.Context, id string) (*Status, error) {
+	var st Status
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Cancel requests cancellation of a job.
+func (c *Client) Cancel(ctx context.Context, id string) (*Status, error) {
+	var st Status
+	if err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Scenarios fetches the daemon's scenario registry.
+func (c *Client) Scenarios(ctx context.Context) ([]scenario.Info, error) {
+	var resp struct {
+		Scenarios []scenario.Info `json:"scenarios"`
+	}
+	if err := c.do(ctx, http.MethodGet, "/v1/scenarios", nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Scenarios, nil
+}
+
+// Health fetches /healthz.
+func (c *Client) Health(ctx context.Context) (map[string]any, error) {
+	var resp map[string]any
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+func (c *Client) submitAndAwait(ctx context.Context, path string, req any) (*Status, error) {
+	// One retry: a coalesced job can be cancelled under us by whoever
+	// created it (their DELETE kills the shared job); if our context is
+	// still alive that is not our cancellation, so resubmit once — the
+	// cancelled job has left the key map, so the retry runs fresh.
+	for attempt := 0; ; attempt++ {
+		st, err := c.submitAndAwaitOnce(ctx, path, req)
+		if err == nil || ctx.Err() != nil || attempt >= 1 ||
+			st == nil || st.State != StateCancelled {
+			return st, err
+		}
+	}
+}
+
+func (c *Client) submitAndAwaitOnce(ctx context.Context, path string, req any) (*Status, error) {
+	var st Status
+	if err := c.do(ctx, http.MethodPost, path, req, &st); err != nil {
+		return nil, err
+	}
+	// Only the submission response carries the coalesced/cached marker;
+	// preserve it across polls — it both reaches the caller and decides
+	// whether an abandoned job may be cancelled.
+	cached := st.Cached
+	for !st.State.Terminal() {
+		if err := ctx.Err(); err != nil {
+			c.abandon(&st, cached)
+			return nil, err
+		}
+		next, err := c.poll(ctx, st.ID)
+		if err != nil {
+			if ctx.Err() != nil {
+				c.abandon(&st, cached)
+				return nil, ctx.Err()
+			}
+			return nil, err
+		}
+		st = *next
+		st.Cached = cached
+	}
+	if st.State == StateFailed {
+		return &st, fmt.Errorf("service: job %s failed: %s", st.ID, st.Error)
+	}
+	if st.State == StateCancelled {
+		return &st, fmt.Errorf("service: job %s was cancelled", st.ID)
+	}
+	return &st, nil
+}
+
+// poll long-polls the job for up to 10s server-side; the request context
+// still bounds the whole call.
+func (c *Client) poll(ctx context.Context, id string) (*Status, error) {
+	var st Status
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"?wait=10s", nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// abandon cancels a job this client created whose caller has gone away, so
+// the daemon stops simulating for nobody. Cached/coalesced jobs belong to
+// other requesters too and are left running. A job someone else coalesces
+// onto *after* we created it can still be cancelled by our abandon — those
+// waiters resubmit (see submitAndAwait), trading one redundant cancel for
+// not leaking abandoned work.
+func (c *Client) abandon(st *Status, cached bool) {
+	if st.ID == "" || cached {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_, _ = c.Cancel(ctx, st.ID)
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	hc := c.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 400 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return fmt.Errorf("service: %s %s: %s (HTTP %d)", method, path, e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("service: %s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}

@@ -1,0 +1,235 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"github.com/eda-go/moheco/internal/scenario"
+)
+
+// Handler returns the server's HTTP API:
+//
+//	POST   /v1/yield            submit a yield-estimate job (?wait to block until done)
+//	POST   /v1/optimize         submit an optimization job (?wait to block until done)
+//	GET    /v1/jobs             list retained jobs, newest first
+//	GET    /v1/jobs/{id}        job status + result (?wait=DUR long-polls completion)
+//	DELETE /v1/jobs/{id}        cancel the job
+//	GET    /v1/jobs/{id}/events SSE progress stream until completion
+//	GET    /v1/scenarios        the scenario registry (dims, defaults, reference design)
+//	GET    /healthz             liveness + job/simulation counters
+//
+// Every response body is JSON except the SSE stream. Submissions respond
+// with the job's Status; the `cached` field marks a request coalesced onto
+// an existing job (in flight) or served from the result cache (done).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
+	mux.HandleFunc("POST /v1/yield", s.handleSubmitYield)
+	mux.HandleFunc("POST /v1/optimize", s.handleSubmitOptimize)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	return mux
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	counts := s.JobCounts()
+	byState := make(map[string]int, len(counts))
+	for st, n := range counts {
+		byState[string(st)] = n
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"uptime_s":  s.Uptime().Seconds(),
+		"sims":      s.Sims(),
+		"jobs":      byState,
+		"scenarios": len(scenario.Names()),
+	})
+}
+
+func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"scenarios": scenario.Describe()})
+}
+
+func (s *Server) handleSubmitYield(w http.ResponseWriter, r *http.Request) {
+	var req YieldRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	j, cached, err := s.SubmitYield(req)
+	s.respondSubmitted(w, r, j, cached, err)
+}
+
+func (s *Server) handleSubmitOptimize(w http.ResponseWriter, r *http.Request) {
+	var req OptimizeRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	j, cached, err := s.SubmitOptimize(req)
+	s.respondSubmitted(w, r, j, cached, err)
+}
+
+// respondSubmitted maps a submission outcome to HTTP: 400 for a rejected
+// request, 503 for a full queue, otherwise the job's status — after an
+// optional server-side wait for completion (`?wait` or `?wait=DURATION`,
+// capped at the configured limit; an expired wait still returns the current
+// status, it never cancels the shared job).
+func (s *Server) respondSubmitted(w http.ResponseWriter, r *http.Request, j *Job, cached bool, err error) {
+	switch {
+	case errors.Is(err, ErrQueueFull) || errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if d, ok := s.waitParam(r); ok {
+		waitCtx, cancel := context.WithTimeout(r.Context(), d)
+		_ = j.Wait(waitCtx)
+		cancel()
+	}
+	st := j.Status()
+	st.Cached = cached
+	w.Header().Set("Location", "/v1/jobs/"+j.ID)
+	code := http.StatusAccepted
+	if st.State.Terminal() {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, st)
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.Jobs()})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, err := s.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	if d, ok := s.waitParam(r); ok {
+		waitCtx, cancel := context.WithTimeout(r.Context(), d)
+		_ = j.Wait(waitCtx)
+		cancel()
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, err := s.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	// Report the post-cancel state; queued jobs flip once a runner pops
+	// them, running ones once their in-flight chunks drain — give the
+	// common fast path a moment to settle so most DELETE responses
+	// already read "cancelled".
+	waitCtx, cancel := context.WithTimeout(r.Context(), time.Second)
+	_ = j.Wait(waitCtx)
+	cancel()
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+// handleEvents streams job progress as server-sent events: a `status`
+// event immediately, `progress` events at the configured interval while
+// the job runs, and a final `done` event with the completed status. A
+// dropped subscriber only ends its own stream — jobs are shared, so
+// watching (or unwatching) never cancels one; DELETE does.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, err := s.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, errors.New("service: streaming unsupported"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	send := func(event string, v any) bool {
+		data, err := json.Marshal(v)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+	if !send("status", j.Status()) {
+		return
+	}
+	ticker := time.NewTicker(s.cfg.EventInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-j.Done():
+			send("done", j.Status())
+			return
+		case <-ticker.C:
+			if !send("progress", j.Status()) {
+				return
+			}
+		}
+	}
+}
+
+// waitParam parses the `wait` query parameter: absent → (0, false), empty
+// or bare `wait`/`wait=true` → the server's wait limit, a duration string →
+// that duration capped at the limit.
+func (s *Server) waitParam(r *http.Request) (time.Duration, bool) {
+	if !r.URL.Query().Has("wait") {
+		return 0, false
+	}
+	limit := s.cfg.WaitLimit
+	v := r.URL.Query().Get("wait")
+	if v == "" || v == "true" || v == "1" {
+		return limit, true
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil || d <= 0 {
+		return limit, true
+	}
+	if d > limit {
+		d = limit
+	}
+	return d, true
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,67 @@
+package service_test
+
+import (
+	"math"
+	"time"
+
+	"github.com/eda-go/moheco/internal/constraint"
+	"github.com/eda-go/moheco/internal/problem"
+	"github.com/eda-go/moheco/internal/scenario"
+)
+
+// synthProblem is a tiny two-variable analytic problem with a yield
+// strictly between 0 and 1, so equality assertions against the local
+// estimator actually discriminate (an all-pass scenario would let a broken
+// pipeline return 1.0 and still "match"). perf = x0 + 0.3·ξ0 + 0.1·ξ1 with
+// spec perf ≤ 0.8: at the reference design x = (0.5, 0.5) the pass
+// probability is Φ(0.3/√0.1) ≈ 0.829. An optional per-evaluation sleep
+// makes the cancellation and SSE tests deterministic to observe.
+type synthProblem struct {
+	name  string
+	delay time.Duration
+}
+
+func (p *synthProblem) Name() string { return p.name }
+func (p *synthProblem) Dim() int     { return 2 }
+func (p *synthProblem) Bounds() ([]float64, []float64) {
+	return []float64{0, 0}, []float64{1, 1}
+}
+func (p *synthProblem) Specs() []constraint.Spec {
+	return []constraint.Spec{{Name: "perf", Sense: constraint.AtMost, Bound: 0.8}}
+}
+func (p *synthProblem) VarDim() int { return 2 }
+func (p *synthProblem) Evaluate(x, xi []float64) ([]float64, error) {
+	if p.delay > 0 {
+		// Busy-wait: time.Sleep rounds sub-millisecond naps up to the
+		// scheduler tick (~1ms on this kernel), which would make the
+		// "slow" scenario 10× slower than intended.
+		for start := time.Now(); time.Since(start) < p.delay; { //nolint:revive // intentional spin
+		}
+	}
+	v := x[0]
+	if xi != nil {
+		v += 0.3*xi[0] + 0.1*xi[1]
+	}
+	// A mild nonlinearity in the second design variable keeps the
+	// optimizer's landscape non-degenerate.
+	v += 0.05 * math.Abs(x[1]-0.5)
+	return []float64{v}, nil
+}
+func (p *synthProblem) ReferenceDesign() []float64 { return []float64{0.5, 0.5} }
+
+func init() {
+	scenario.Register(scenario.Scenario{
+		Name:              "svc-test",
+		Summary:           "synthetic two-variable service-test problem (instant evaluations)",
+		New:               func() problem.Problem { return &synthProblem{name: "svc-test"} },
+		DefaultMaxSims:    200,
+		DefaultRefSamples: 4096,
+	})
+	scenario.Register(scenario.Scenario{
+		Name:              "svc-slow",
+		Summary:           "synthetic service-test problem with slow evaluations (cancellation tests)",
+		New:               func() problem.Problem { return &synthProblem{name: "svc-slow", delay: 100 * time.Microsecond} },
+		DefaultMaxSims:    200,
+		DefaultRefSamples: 4096,
+	})
+}

@@ -1,0 +1,686 @@
+// Package service is the yield-computation daemon behind cmd/mohecod: a
+// job-oriented server that runs yield estimates and full optimizations from
+// the scenario registry on a bounded worker pool, dedupes identical and
+// in-flight requests through a canonical-key result cache, and exposes the
+// whole thing over a stdlib-only HTTP API (see http.go) with a matching
+// client (client.go).
+//
+// # Determinism contract
+//
+// A served job runs the exact same code path as the local CLI: yield jobs
+// call yieldsim.ReferenceCtx with the request's (scenario, x, n, seed,
+// sampler), optimize jobs call core.Optimize with core.DefaultOptions plus
+// the request's knobs. Worker counts never change results anywhere in the
+// library, so a served result is bit-identical to the in-process one at the
+// same request — which is also what makes result caching sound: the cache
+// key is the request's canonical form (resolved defaults, exact float bits
+// of x), and two requests with equal keys have equal results by
+// construction.
+//
+// # Job lifecycle
+//
+// Submit resolves and validates the request, canonicalizes it into a key,
+// and either coalesces onto an existing job with that key (queued, running
+// or completed — the dedupe and the result cache are the same map) or
+// enqueues a new job. A FIFO queue feeds a fixed pool of job runners; each
+// job owns a context derived from the server's, and DELETE /v1/jobs/{id}
+// (or server shutdown) cancels it — the cancellation reaches the simulator
+// chunk loops via engine.ForEachNCtx, so a killed job stops burning CPU
+// within one evaluation chunk per worker. Completed jobs (done, failed or
+// cancelled) enter a bounded LRU; only done jobs stay addressable by key,
+// so a failed or cancelled request re-runs when asked again.
+package service
+
+import (
+	"context"
+	"container/list"
+	"errors"
+	"fmt"
+	"log"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/eda-go/moheco/internal/core"
+	"github.com/eda-go/moheco/internal/sample"
+	"github.com/eda-go/moheco/internal/scenario"
+	"github.com/eda-go/moheco/internal/yieldsim"
+)
+
+// Config tunes the server; the zero value is usable.
+type Config struct {
+	// Workers bounds the simulation goroutines inside each running job
+	// (0 = GOMAXPROCS). Results never depend on it.
+	Workers int
+	// Jobs is the number of concurrently running jobs (0 = 2). Queued
+	// jobs start in FIFO order.
+	Jobs int
+	// QueueSize bounds the pending-job queue (0 = 256); submissions
+	// beyond it are rejected with ErrQueueFull rather than accepted into
+	// an unbounded backlog.
+	QueueSize int
+	// CacheSize bounds the completed jobs retained for result reuse and
+	// status lookup (0 = 256), evicted least-recently-used.
+	CacheSize int
+	// Counter, when non-nil, receives every simulator invocation the
+	// server performs (tests inject one to assert cache hits cost zero
+	// simulations); nil means a private counter, visible via Sims.
+	Counter *yieldsim.Counter
+	// EventInterval is the SSE progress-frame period (0 = 500ms).
+	EventInterval time.Duration
+	// WaitLimit caps the server-side block of ?wait requests (0 = 30s).
+	WaitLimit time.Duration
+	// Log, when non-nil, receives one line per job transition.
+	Log *log.Logger
+}
+
+// Submission and lookup errors the HTTP layer maps to status codes.
+var (
+	ErrQueueFull = errors.New("service: job queue full")
+	ErrClosed    = errors.New("service: server closed")
+	ErrNotFound  = errors.New("service: no such job")
+)
+
+// State is a job's lifecycle state.
+type State string
+
+// Job states. Queued and running jobs are live; done, failed and cancelled
+// jobs are completed (retained in the LRU until evicted).
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is a completed one.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Progress is a job's monitoring snapshot: samples simulated so far for
+// yield jobs (with the running estimate and its Bernoulli std), generations
+// finished for optimize jobs (with the best yield so far).
+type Progress struct {
+	Done  int64   `json:"done"`
+	Total int64   `json:"total"`
+	Yield float64 `json:"yield"`
+	Std   float64 `json:"std,omitempty"`
+}
+
+// YieldRequest asks for a Monte-Carlo yield estimate. Omitted fields
+// resolve to the scenario's defaults: X to the reference design, N to the
+// scenario's reference sample count, Seed to 1 and Sampler to "pmc" — the
+// exact configuration `yieldest` runs locally. Seed is a pointer so that
+// seed 0 — a perfectly valid seed locally — stays expressible on the wire
+// (`"seed": 0` ≠ an omitted seed).
+type YieldRequest struct {
+	Scenario string    `json:"scenario"`
+	X        []float64 `json:"x,omitempty"`
+	N        int       `json:"n,omitempty"`
+	Seed     *uint64   `json:"seed,omitempty"`
+	Sampler  string    `json:"sampler,omitempty"`
+}
+
+// Seed returns a *uint64 for a request's Seed field.
+func Seed(v uint64) *uint64 { return &v }
+
+// YieldResult is a completed yield job's payload, echoing the resolved
+// request so a cached result is self-describing.
+type YieldResult struct {
+	Scenario  string    `json:"scenario"`
+	X         []float64 `json:"x"`
+	N         int       `json:"n"`
+	Seed      uint64    `json:"seed"`
+	Sampler   string    `json:"sampler"`
+	Yield     float64   `json:"yield"`
+	Std       float64   `json:"std"`
+	ElapsedMS float64   `json:"elapsed_ms"`
+}
+
+// OptimizeRequest asks for a full yield optimization with the paper's
+// default parameters. Omitted fields resolve to: Method "moheco",
+// MaxSims the scenario default, MaxGens 300, Seed 1 (a pointer for the
+// same seed-0 reason as YieldRequest).
+type OptimizeRequest struct {
+	Scenario string  `json:"scenario"`
+	Method   string  `json:"method,omitempty"`
+	MaxSims  int     `json:"max_sims,omitempty"`
+	MaxGens  int     `json:"max_gens,omitempty"`
+	Seed     *uint64 `json:"seed,omitempty"`
+}
+
+// OptimizeResult is a completed optimize job's payload.
+type OptimizeResult struct {
+	Scenario    string    `json:"scenario"`
+	Method      string    `json:"method"`
+	Seed        uint64    `json:"seed"`
+	Feasible    bool      `json:"feasible"`
+	BestX       []float64 `json:"best_x,omitempty"`
+	BestYield   float64   `json:"best_yield"`
+	BestSamples int       `json:"best_samples"`
+	TotalSims   int64     `json:"total_sims"`
+	Generations int       `json:"generations"`
+	StopReason  string    `json:"stop_reason"`
+	ElapsedMS   float64   `json:"elapsed_ms"`
+}
+
+// Status is the wire representation of a job.
+type Status struct {
+	ID       string          `json:"id"`
+	Kind     string          `json:"kind"`
+	Scenario string          `json:"scenario"`
+	State    State           `json:"state"`
+	Cached   bool            `json:"cached,omitempty"`
+	Error    string          `json:"error,omitempty"`
+	Progress *Progress       `json:"progress,omitempty"`
+	Yield    *YieldResult    `json:"yield,omitempty"`
+	Optimize *OptimizeResult `json:"optimize,omitempty"`
+	Created  time.Time       `json:"created"`
+	Started  *time.Time      `json:"started,omitempty"`
+	Finished *time.Time      `json:"finished,omitempty"`
+}
+
+// Job is one submitted computation. All mutable fields are guarded by mu;
+// the HTTP layer only ever sees Status snapshots.
+type Job struct {
+	ID       string
+	Kind     string
+	Key      string
+	Scenario string
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	run    func(ctx context.Context, j *Job) error
+	done   chan struct{}
+
+	mu        sync.Mutex
+	state     State
+	finalized bool
+	err       error
+	progress  Progress
+	yield     *YieldResult
+	optimize  *OptimizeResult
+	created   time.Time
+	started   time.Time
+	finished  time.Time
+	elem      *list.Element // retention-LRU slot once completed
+}
+
+// Status returns a consistent snapshot of the job.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID:       j.ID,
+		Kind:     j.Kind,
+		Scenario: j.Scenario,
+		State:    j.state,
+		Created:  j.created,
+		Yield:    j.yield,
+		Optimize: j.optimize,
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	if j.progress.Done > 0 {
+		p := j.progress
+		st.Progress = &p
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+	}
+	return st
+}
+
+// Wait blocks until the job completes or ctx is done.
+func (j *Job) Wait(ctx context.Context) error {
+	select {
+	case <-j.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Done returns the channel closed when the job completes.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Cancel requests cancellation; the job transitions to cancelled once its
+// in-flight evaluation chunks drain (or immediately if still queued).
+func (j *Job) Cancel() { j.cancel() }
+
+func (j *Job) setProgress(p Progress) {
+	j.mu.Lock()
+	j.progress = p
+	j.mu.Unlock()
+}
+
+// Server is the yield-computation daemon core, independent of HTTP.
+type Server struct {
+	cfg     Config
+	counter *yieldsim.Counter
+	logger  *log.Logger
+	started time.Time
+
+	baseCtx context.Context
+	stop    context.CancelFunc
+	wg      sync.WaitGroup
+	queue   chan *Job
+
+	mu       sync.Mutex
+	closed   bool
+	seq      int64
+	jobs     map[string]*Job // by ID, live + retained
+	byKey    map[string]*Job // dedupe/result cache: canonical key → live or done job
+	retained *list.List      // completed jobs, least recently used at front
+}
+
+// New starts a server with cfg's worker pool running.
+func New(cfg Config) *Server {
+	if cfg.Jobs <= 0 {
+		cfg.Jobs = 2
+	}
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = 256
+	}
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = 256
+	}
+	if cfg.EventInterval <= 0 {
+		cfg.EventInterval = 500 * time.Millisecond
+	}
+	if cfg.WaitLimit <= 0 {
+		cfg.WaitLimit = 30 * time.Second
+	}
+	counter := cfg.Counter
+	if counter == nil {
+		counter = &yieldsim.Counter{}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:      cfg,
+		counter:  counter,
+		logger:   cfg.Log,
+		started:  time.Now(),
+		baseCtx:  ctx,
+		stop:     cancel,
+		queue:    make(chan *Job, cfg.QueueSize),
+		jobs:     make(map[string]*Job),
+		byKey:    make(map[string]*Job),
+		retained: list.New(),
+	}
+	for i := 0; i < cfg.Jobs; i++ {
+		s.wg.Add(1)
+		go s.runner()
+	}
+	return s
+}
+
+// Close cancels every live job, stops the runners and finalizes whatever
+// was still queued. Safe to call once.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	live := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		live = append(live, j)
+	}
+	s.mu.Unlock()
+	s.stop()
+	for _, j := range live {
+		j.cancel()
+	}
+	s.wg.Wait()
+	// Runners are gone; drain and finalize jobs stuck in the queue so
+	// their waiters unblock.
+	for {
+		select {
+		case j := <-s.queue:
+			s.finalize(j, context.Canceled)
+		default:
+			return
+		}
+	}
+}
+
+// Sims returns the total simulator invocations the server has performed.
+func (s *Server) Sims() int64 { return s.counter.Total() }
+
+// Uptime returns the time since New.
+func (s *Server) Uptime() time.Duration { return time.Since(s.started) }
+
+// Get returns the job with the given ID, refreshing its retention slot.
+func (s *Server) Get(id string) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	if j.elem != nil {
+		s.retained.MoveToBack(j.elem)
+	}
+	return j, nil
+}
+
+// Cancel cancels the job with the given ID.
+func (s *Server) Cancel(id string) (*Job, error) {
+	j, err := s.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	j.cancel()
+	return j, nil
+}
+
+// JobCounts returns the number of jobs per state among those retained.
+func (s *Server) JobCounts() map[State]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	counts := make(map[State]int)
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		counts[j.state]++
+		j.mu.Unlock()
+	}
+	return counts
+}
+
+// Jobs returns status snapshots of every retained job, newest first.
+func (s *Server) Jobs() []Status {
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	out := make([]Status, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Status()
+	}
+	// IDs are zero-padded sequence numbers: descending ⇒ newest first.
+	sort.Slice(out, func(i, k int) bool { return out[i].ID > out[k].ID })
+	return out
+}
+
+// SubmitYield validates, canonicalizes and enqueues a yield-estimate job.
+// The returned bool reports a coalesced/cached hit: the job already existed
+// (in flight or done) for the same canonical request.
+func (s *Server) SubmitYield(req YieldRequest) (*Job, bool, error) {
+	sc, err := scenario.Get(req.Scenario)
+	if err != nil {
+		return nil, false, err
+	}
+	p := sc.New()
+	seed := uint64(1)
+	if req.Seed != nil {
+		seed = *req.Seed
+	}
+	req.Seed = &seed
+	if req.N <= 0 {
+		req.N = sc.DefaultRefSamples
+	}
+	if req.Sampler == "" {
+		req.Sampler = "pmc"
+	}
+	smp, err := sample.ByName(req.Sampler)
+	if err != nil {
+		return nil, false, err
+	}
+	req.Sampler = smp.Name()
+	x := req.X
+	if x == nil {
+		ref, ok := scenario.ReferenceDesign(p)
+		if !ok {
+			return nil, false, fmt.Errorf("service: scenario %q has no reference design; pass x", req.Scenario)
+		}
+		x = ref
+	} else if len(x) != p.Dim() {
+		return nil, false, fmt.Errorf("service: scenario %q needs %d design values, got %d", req.Scenario, p.Dim(), len(x))
+	}
+	req.X = append([]float64(nil), x...)
+	key := yieldKey(req)
+	run := func(ctx context.Context, j *Job) error {
+		start := time.Now()
+		y, n, err := yieldsim.ReferenceCtx(ctx, p, req.X, req.N, seed, yieldsim.RefOptions{
+			Workers: s.cfg.Workers,
+			Sampler: smp,
+			Counter: s.counter,
+			Progress: func(done, pass int64) {
+				est := float64(pass) / float64(done)
+				j.setProgress(Progress{
+					Done:  done,
+					Total: int64(req.N),
+					Yield: est,
+					Std:   math.Sqrt(est * (1 - est) / float64(done)),
+				})
+			},
+		})
+		if err != nil {
+			return err
+		}
+		j.mu.Lock()
+		j.yield = &YieldResult{
+			Scenario:  req.Scenario,
+			X:         req.X,
+			N:         n,
+			Seed:      seed,
+			Sampler:   req.Sampler,
+			Yield:     y,
+			Std:       math.Sqrt(y * (1 - y) / float64(n)),
+			ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
+		}
+		j.mu.Unlock()
+		return nil
+	}
+	return s.add("yield", req.Scenario, key, run)
+}
+
+// SubmitOptimize validates, canonicalizes and enqueues an optimization job.
+func (s *Server) SubmitOptimize(req OptimizeRequest) (*Job, bool, error) {
+	sc, err := scenario.Get(req.Scenario)
+	if err != nil {
+		return nil, false, err
+	}
+	seed := uint64(1)
+	if req.Seed != nil {
+		seed = *req.Seed
+	}
+	req.Seed = &seed
+	if req.MaxSims <= 0 {
+		req.MaxSims = sc.DefaultMaxSims
+	}
+	if req.MaxGens <= 0 {
+		req.MaxGens = 300
+	}
+	if req.Method == "" {
+		req.Method = "moheco"
+	}
+	var m core.Method
+	switch req.Method {
+	case "moheco":
+		m = core.MethodMOHECO
+	case "oo":
+		m = core.MethodOOOnly
+	case "fixed":
+		m = core.MethodFixedBudget
+	default:
+		return nil, false, fmt.Errorf("service: unknown method %q (moheco | oo | fixed)", req.Method)
+	}
+	key := optimizeKey(req)
+	run := func(ctx context.Context, j *Job) error {
+		start := time.Now()
+		p := sc.New()
+		// The run owns a private counter: Result.TotalSims (and the
+		// streamed CumSims) must count only this optimization, exactly
+		// as the local CLI reports it — the shared server counter would
+		// leak concurrent jobs' simulations into the cached result. The
+		// private total is folded into the server counter per generation
+		// so /healthz stays live.
+		jobCounter := &yieldsim.Counter{}
+		var folded int64
+		fold := func() {
+			t := jobCounter.Total()
+			s.counter.Add(t - folded)
+			folded = t
+		}
+		opts := core.DefaultOptions(m, req.MaxSims)
+		opts.Seed = seed
+		opts.MaxGenerations = req.MaxGens
+		opts.Workers = s.cfg.Workers
+		opts.Ctx = ctx
+		opts.Counter = jobCounter
+		opts.OnGeneration = func(r core.GenRecord) {
+			fold()
+			j.setProgress(Progress{
+				Done:  int64(r.Gen),
+				Total: int64(req.MaxGens),
+				Yield: r.BestYield,
+			})
+		}
+		res, err := core.Optimize(p, opts)
+		fold()
+		if err != nil {
+			return err
+		}
+		j.mu.Lock()
+		j.optimize = &OptimizeResult{
+			Scenario:    req.Scenario,
+			Method:      req.Method,
+			Seed:        seed,
+			Feasible:    res.Feasible,
+			BestX:       res.BestX,
+			BestYield:   res.BestYield,
+			BestSamples: res.BestSamples,
+			TotalSims:   res.TotalSims,
+			Generations: res.Generations,
+			StopReason:  res.StopReason,
+			ElapsedMS:   float64(time.Since(start)) / float64(time.Millisecond),
+		}
+		j.mu.Unlock()
+		return nil
+	}
+	return s.add("optimize", req.Scenario, key, run)
+}
+
+// add coalesces onto an existing job with the same canonical key or
+// enqueues a new one.
+func (s *Server) add(kind, scenarioName, key string, run func(context.Context, *Job) error) (*Job, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, false, ErrClosed
+	}
+	if j, ok := s.byKey[key]; ok {
+		if j.elem != nil {
+			s.retained.MoveToBack(j.elem)
+		}
+		return j, true, nil
+	}
+	s.seq++
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	j := &Job{
+		ID:       fmt.Sprintf("j%08d", s.seq),
+		Kind:     kind,
+		Key:      key,
+		Scenario: scenarioName,
+		ctx:      ctx,
+		cancel:   cancel,
+		run:      run,
+		done:     make(chan struct{}),
+		state:    StateQueued,
+		created:  time.Now(),
+	}
+	select {
+	case s.queue <- j:
+	default:
+		cancel()
+		return nil, false, ErrQueueFull
+	}
+	s.jobs[j.ID] = j
+	s.byKey[key] = j
+	s.logf("job %s %s %s queued (key %q)", j.ID, kind, scenarioName, key)
+	return j, false, nil
+}
+
+// runner is one slot of the fixed job pool: it pops jobs in FIFO order and
+// runs them to completion under their own contexts.
+func (s *Server) runner() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case j := <-s.queue:
+			if j.ctx.Err() != nil {
+				// Cancelled (or the server closed) while still queued.
+				s.finalize(j, j.ctx.Err())
+				continue
+			}
+			j.mu.Lock()
+			j.state = StateRunning
+			j.started = time.Now()
+			j.mu.Unlock()
+			s.logf("job %s running", j.ID)
+			s.finalize(j, j.run(j.ctx, j))
+		}
+	}
+}
+
+// finalize records the job's terminal state, unblocks waiters, and
+// maintains the result cache: done jobs stay addressable by key, failed
+// and cancelled ones do not, and the completed-job LRU is trimmed to the
+// configured size.
+func (s *Server) finalize(j *Job, err error) {
+	j.mu.Lock()
+	if j.finalized {
+		j.mu.Unlock()
+		return
+	}
+	j.finalized = true
+	j.finished = time.Now()
+	switch {
+	case err == nil:
+		j.state = StateDone
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.state = StateCancelled
+		j.err = err
+	default:
+		j.state = StateFailed
+		j.err = err
+	}
+	j.run = nil // release the submit-time closure (problem instance, request copy)
+	state := j.state
+	j.mu.Unlock()
+	j.cancel() // release the context's resources in every path
+	close(j.done)
+	s.logf("job %s %s", j.ID, state)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if state != StateDone && s.byKey[j.Key] == j {
+		delete(s.byKey, j.Key)
+	}
+	j.elem = s.retained.PushBack(j)
+	for s.retained.Len() > s.cfg.CacheSize {
+		old := s.retained.Remove(s.retained.Front()).(*Job)
+		delete(s.jobs, old.ID)
+		if s.byKey[old.Key] == old {
+			delete(s.byKey, old.Key)
+		}
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.logger != nil {
+		s.logger.Printf(format, args...)
+	}
+}

@@ -17,8 +17,10 @@
 package yieldsim
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"sync"
 	"sync/atomic"
 
 	"github.com/eda-go/moheco/internal/engine"
@@ -61,6 +63,13 @@ type Config struct {
 	// sequentially before the simulator runs, so the estimate is
 	// identical for every worker count.
 	Workers int
+	// Ctx, when non-nil, cancels sampling: AddSamples stops handing
+	// chunks to the simulator once the context is done (chunks already
+	// in flight finish) and returns the context's error, poisoning the
+	// candidate like any other batch error. Cancellation never changes a
+	// completed estimate — a run either finishes bit-identically or
+	// reports the cancellation.
+	Ctx context.Context
 }
 
 func (c Config) withDefaults() Config {
@@ -187,7 +196,7 @@ func (c *Candidate) AddSamples(n int) error {
 	}
 	pass := make([]bool, len(jobs))
 	chunks := (len(jobs) + simChunk - 1) / simChunk
-	if err := engine.ForEachN(c.cfg.Workers, chunks, func(ci int) error {
+	if err := engine.ForEachNCtx(c.cfg.Ctx, c.cfg.Workers, chunks, func(ci int) error {
 		lo := ci * simChunk
 		hi := lo + simChunk
 		if hi > len(jobs) {
@@ -289,22 +298,70 @@ func Reference(p problem.Problem, x []float64, n int, seed uint64, counter *Coun
 // a seed derived from its chunk index, so every worker count — including 1
 // — produces the identical estimate.
 func ReferenceWorkers(p problem.Problem, x []float64, n int, seed uint64, counter *Counter, workers int) (float64, int, error) {
+	return ReferenceCtx(nil, p, x, n, seed, RefOptions{Workers: workers, Counter: counter})
+}
+
+// RefOptions configures ReferenceCtx, the full-parameter reference
+// estimator behind ReferenceWorkers and the yield service.
+type RefOptions struct {
+	// Workers bounds the chunk-evaluation goroutines (0 = GOMAXPROCS,
+	// 1 = sequential); the estimate is identical for every value.
+	Workers int
+	// Sampler generates each chunk's sample plan (nil = PMC, the plain-MC
+	// analysis ReferenceWorkers runs). Stratified plans (LHS, Halton)
+	// stratify within each fixed-size chunk — the estimate stays unbiased
+	// and deterministic for a given (seed, n), it just scopes the variance
+	// reduction to refChunk-sample blocks.
+	Sampler sample.Sampler
+	// Counter, when non-nil, is incremented chunk by chunk as simulator
+	// calls happen, so a cancelled run's accounting reflects the work
+	// actually spent (a completed run still totals exactly n).
+	Counter *Counter
+	// Progress, when non-nil, is called after each completed chunk with
+	// the cumulative simulated and passing sample counts. Calls are
+	// serialized and both counts are consistent snapshots, but arrive in
+	// chunk-completion order, which depends on scheduling — progress is a
+	// monitoring feed, never an input to the estimate.
+	Progress func(done, pass int64)
+}
+
+// ReferenceCtx is the reference estimator under a cancellation context
+// (nil = never cancelled) with explicit sampling options. The sample stream
+// is split into fixed-size chunks, each with a seed derived from its chunk
+// index, so for a given (seed, n, sampler) every worker count — and the
+// local-CLI vs served execution path — produces the bit-identical estimate.
+// On cancellation it returns the context's error; chunks already handed to
+// the simulator finish first, so the simulation counter stops advancing
+// within one chunk per worker.
+func ReferenceCtx(ctx context.Context, p problem.Problem, x []float64, n int, seed uint64, o RefOptions) (float64, int, error) {
 	if n <= 0 {
 		return 0, 0, fmt.Errorf("yieldsim: reference sample count %d", n)
 	}
+	sampler := o.Sampler
+	if sampler == nil {
+		sampler = sample.PMC{}
+	}
+	var (
+		progressMu sync.Mutex
+		doneCum    int64
+		passCum    int64
+	)
 	chunks := (n + refChunk - 1) / refChunk
-	passTotals, err := engine.Map(workers, chunks, func(ci int) (int, error) {
+	passTotals, err := engine.MapCtx(ctx, o.Workers, chunks, func(ci int) (int, error) {
 		lo := ci * refChunk
 		hi := lo + refChunk
 		if hi > n {
 			hi = n
 		}
 		rng := randx.New(randx.DeriveSeed(seed, uint64(ci)))
-		pts := sample.PMC{}.Draw(rng, hi-lo, p.VarDim())
+		pts := sampler.Draw(rng, hi-lo, p.VarDim())
 		// One batch evaluation per chunk: a BatchEvaluator problem keeps
 		// its compiled per-design state (and Newton warm starts) alive
 		// across the whole chunk; per-sample errors are failed chips.
 		ok, _, err := problem.PassFailBatch(p, x, pts)
+		if o.Counter != nil {
+			o.Counter.Add(int64(hi - lo))
+		}
 		if err != nil {
 			return 0, err
 		}
@@ -314,6 +371,13 @@ func ReferenceWorkers(p problem.Problem, x []float64, n int, seed uint64, counte
 				pass++
 			}
 		}
+		if o.Progress != nil {
+			progressMu.Lock()
+			doneCum += int64(hi - lo)
+			passCum += int64(pass)
+			o.Progress(doneCum, passCum)
+			progressMu.Unlock()
+		}
 		return pass, nil
 	})
 	if err != nil {
@@ -322,9 +386,6 @@ func ReferenceWorkers(p problem.Problem, x []float64, n int, seed uint64, counte
 	pass := 0
 	for _, p := range passTotals {
 		pass += p
-	}
-	if counter != nil {
-		counter.Add(int64(n))
 	}
 	return float64(pass) / float64(n), n, nil
 }
