@@ -6,13 +6,16 @@
 //
 //	mohecorun [-problem NAME] [-method NAME] [-maxsims N] [-seed S]
 //	          [-maxgens N] [-ref N] [-workers N] [-trace]
+//	          [-tstop T] [-tstep T] [-tranmode adaptive|fixed]
 //	          [-timeout DUR] [-server URL]
 //
 // Problems come from the scenario registry (-h lists them); methods are
-// moheco, oo and fixed. With -server, the optimization runs on a mohecod
-// daemon (bit-identical result at the same request; -trace and -fixedsims
-// are local-only). -timeout cancels the run — local or served — when it
-// expires; the command then exits with code 2.
+// moheco, oo and fixed. The -tstop/-tstep/-tranmode flags override the
+// transient window of a time-domain problem (an error on problems without
+// one). With -server, the optimization runs on a mohecod daemon
+// (bit-identical result at the same request; -trace, -fixedsims and the
+// tran flags are local-only). -timeout cancels the run — local or served —
+// when it expires; the command then exits with code 2.
 package main
 
 import (
@@ -40,6 +43,9 @@ func main() {
 		refN     = flag.Int("ref", -1, "reference MC samples for the final check (-1 = problem default, 0 to skip)")
 		workers  = flag.Int("workers", 0, "evaluation worker goroutines (0 = GOMAXPROCS, 1 = sequential; results are identical)")
 		trace    = flag.Bool("trace", false, "print per-generation progress")
+		tStop    = flag.Float64("tstop", 0, "transient stop time override (s; time-domain problems, local only)")
+		tStep    = flag.Float64("tstep", 0, "transient initial/fixed step override (s)")
+		tranMode = flag.String("tranmode", "", "transient integrator mode: adaptive | fixed (default: problem's)")
 		timeout  = flag.Duration("timeout", 0, "cancel the optimization after this duration (exit code 2)")
 		server   = flag.String("server", "", "mohecod daemon URL (e.g. http://127.0.0.1:8650); empty = run locally")
 	)
@@ -55,6 +61,15 @@ func main() {
 		fatal(err)
 	}
 	p := sc.New()
+	if *tStop != 0 || *tStep != 0 || *tranMode != "" {
+		if *server != "" {
+			fatal(fmt.Errorf("-tstop/-tstep/-tranmode are local-only; served optimizations run the scenario's built-in window"))
+		}
+		spec := &service.TranSpec{TStop: *tStop, Step: *tStep, Mode: *tranMode}
+		if _, err := service.ResolveTran(p, *probName, spec); err != nil {
+			fatal(err)
+		}
+	}
 	if *maxSims <= 0 {
 		*maxSims = sc.DefaultMaxSims
 	}

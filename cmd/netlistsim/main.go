@@ -5,7 +5,7 @@
 // Usage:
 //
 //	netlistsim [-ac node] [-fstart F] [-fstop F] [-ppd N]
-//	           [-tran node] [-tstop T] [-tstep T] file.sp
+//	           [-tran node] [-tstop T] [-tstep T] [-tranmode adaptive|fixed|be] file.sp
 //	netlistsim -problem NAME [analysis flags]
 //
 // The netlist format supports R, C, V, I, E, G and M cards plus .model
@@ -13,7 +13,11 @@
 // the named problem's transistor-level testbench at its reference design
 // (-h lists the registered problems). With -ac, the magnitude/phase
 // response of the named node is printed together with DC gain, unity-gain
-// frequency and phase margin.
+// frequency and phase margin. With -tran, the node's step response is
+// integrated — by default through the LTE-controlled adaptive trapezoidal
+// integrator (-tstep is its initial step; "fixed" pins a uniform
+// trapezoidal grid, "be" the seed's fixed backward-Euler one) — and
+// reduced to slew rate, delay, 1% settling time and overshoot.
 package main
 
 import (
@@ -38,7 +42,8 @@ func main() {
 		ppd      = flag.Int("ppd", 10, "AC sweep points per decade")
 		trNode   = flag.String("tran", "", "node for transient analysis (PULSE sources drive it)")
 		tStop    = flag.Float64("tstop", 1e-6, "transient stop time (s)")
-		tStep    = flag.Float64("tstep", 1e-9, "transient step (s)")
+		tStep    = flag.Float64("tstep", 1e-9, "transient step (s; initial step in adaptive mode)")
+		trMode   = flag.String("tranmode", "adaptive", "transient integrator: adaptive (LTE-controlled trap), fixed (uniform trap) or be (uniform backward Euler)")
 		solver   = flag.String("solver", "auto", "linear solver backend: auto, dense or sparse")
 	)
 	flag.Usage = func() {
@@ -121,7 +126,18 @@ func main() {
 		}
 	}
 	if *trNode != "" {
-		tr, err := eng.Transient(op, *tStop, *tStep)
+		var o spice.TranOptions
+		switch *trMode {
+		case "adaptive":
+			o = spice.TranOptions{TStop: *tStop, Step: *tStep, Adaptive: true}
+		case "fixed":
+			o = spice.TranOptions{TStop: *tStop, Step: *tStep, Method: spice.Trap}
+		case "be":
+			o = spice.TranOptions{TStop: *tStop, Step: *tStep, Method: spice.BackwardEuler}
+		default:
+			fatal(fmt.Errorf("unknown -tranmode %q (adaptive | fixed | be)", *trMode))
+		}
+		tr, err := eng.TransientOpts(op, o)
 		if err != nil {
 			fatal(err)
 		}
@@ -129,7 +145,8 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("transient response at node %q (%d points):\n", *trNode, len(tr.Times))
+		fmt.Printf("transient response at node %q (%s, %d points, %d rejected steps):\n",
+			*trNode, *trMode, len(tr.Times), tr.Rejected)
 		stride := len(tr.Times) / 40
 		if stride < 1 {
 			stride = 1
@@ -137,8 +154,28 @@ func main() {
 		for i := 0; i < len(tr.Times); i += stride {
 			fmt.Printf("  t=%-12.4g v=%.6g\n", tr.Times[i], wave[i])
 		}
-		if ts, over, ok := spice.Settling(tr.Times, wave, 1e-3); ok {
-			fmt.Printf("settles (±1mV) at t=%.4g s, overshoot %.1f%%\n", ts, 100*over)
+		// Time-domain measures against the first pulse edge, V or I driven
+		// (t0 = 0 when no source carries a pulse).
+		t0 := 0.0
+		for _, d := range ckt.Devices {
+			if p := netlist.DevicePulse(d); p != nil {
+				t0 = p.Delay
+				break
+			}
+		}
+		if st, err := measure.NewStep(tr.Times, wave, t0); err == nil {
+			if sr, err := st.SlewRate(); err == nil {
+				fmt.Printf("slew rate: %.4g V/s\n", sr)
+			}
+			if d, err := st.Delay(); err == nil {
+				fmt.Printf("delay (50%%): %.4g s\n", d)
+			}
+			if ts, err := st.SettlingTime(0.01); err == nil {
+				fmt.Printf("1%% settling: %.4g s\n", ts)
+			} else {
+				fmt.Println("1% settling: did not settle in window")
+			}
+			fmt.Printf("overshoot: %.2f%%\n", 100*st.Overshoot())
 		}
 	}
 	if *acNode == "" {

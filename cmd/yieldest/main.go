@@ -5,13 +5,16 @@
 // Usage:
 //
 //	yieldest -problem foldedcascode [-n N] [-seed S] [-workers N] [-x "v1,v2,..."]
-//	         [-sampler pmc|lhs|halton] [-timeout DUR] [-server URL]
+//	         [-sampler pmc|lhs|halton] [-tstop T] [-tstep T] [-tranmode adaptive|fixed]
+//	         [-timeout DUR] [-server URL]
 //
 // Without -x, the problem's built-in reference design is analyzed; without
 // -n, the problem's default reference sample count is used. Problems come
-// from the scenario registry (-h lists them). With -server, the estimate is
-// served by a mohecod daemon — results are bit-identical to the local path
-// at the same (problem, x, n, seed, sampler), so the flag only changes
+// from the scenario registry (-h lists them). The -tstop/-tstep/-tranmode
+// flags override the transient window of a time-domain problem (an error on
+// problems without one). With -server, the estimate is served by a mohecod
+// daemon — results are bit-identical to the local path at the same
+// (problem, x, n, seed, sampler, tran window), so the flag only changes
 // where the simulations burn. -timeout cancels the run (local or served)
 // when it expires; the command then exits with code 2.
 package main
@@ -42,7 +45,10 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "random seed")
 		workers  = flag.Int("workers", 0, "evaluation worker goroutines (0 = GOMAXPROCS, 1 = sequential; results are identical)")
 		xFlag    = flag.String("x", "", "comma-separated design vector (default: reference design)")
-		sampler  = flag.String("sampler", "pmc", "sample plan: pmc | lhs | halton")
+		sampler  = flag.String("sampler", "pmc", "sample plan: "+strings.Join(sample.Names(), " | "))
+		tStop    = flag.Float64("tstop", 0, "transient stop time override (s; time-domain problems only)")
+		tStep    = flag.Float64("tstep", 0, "transient initial/fixed step override (s)")
+		tranMode = flag.String("tranmode", "", "transient integrator mode: adaptive | fixed (default: problem's)")
 		timeout  = flag.Duration("timeout", 0, "cancel the estimate after this duration (exit code 2)")
 		server   = flag.String("server", "", "mohecod daemon URL (e.g. http://127.0.0.1:8650); empty = run locally")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
@@ -99,6 +105,18 @@ func main() {
 		fatal(fmt.Errorf("problem %q has no reference design; pass -x", p.Name()))
 	}
 
+	// Transient-window overrides: resolved and applied to the local problem
+	// instance through the service's single resolution implementation, and
+	// shipped with the request when the estimate is served (the daemon
+	// resolves identically).
+	var tranSpec *service.TranSpec
+	if *tStop != 0 || *tStep != 0 || *tranMode != "" {
+		tranSpec = &service.TranSpec{TStop: *tStop, Step: *tStep, Mode: *tranMode}
+		if _, err := service.ResolveTran(p, *probName, tranSpec); err != nil {
+			fatal(err)
+		}
+	}
+
 	perf, err := p.Evaluate(x, nil)
 	if err != nil {
 		fatal(err)
@@ -129,6 +147,7 @@ func main() {
 			N:        *n,
 			Seed:     seed,
 			Sampler:  plan.Name(),
+			Tran:     tranSpec,
 		})
 		if cerr != nil {
 			fatalCtx(ctx, cerr)

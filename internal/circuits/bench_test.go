@@ -120,3 +120,23 @@ func BenchmarkSpiceEvalBatch64(b *testing.B) {
 func BenchmarkSpiceEvalPointwise64(b *testing.B) {
 	perfsnap.Get("SpiceEvalPointwise64").Bench(b)
 }
+
+// --- Transient scenario benchmarks (time-domain pipeline) ---
+//
+// Each sample of these workloads runs a DC operating point, an AC sweep
+// and an adaptive-trapezoidal step response; the pair tracks the cost of
+// opening the time domain per registered scenario.
+
+// BenchmarkTranYieldCommonSource estimates yield on the quickstart
+// step-response scenario (dense solver, ~60 accepted transient points per
+// sample).
+func BenchmarkTranYieldCommonSource(b *testing.B) {
+	perfsnap.Get("TranYieldCommonSource").Bench(b)
+}
+
+// BenchmarkTranYieldFoldedCascode estimates yield on the folded-cascode
+// step-response scenario (sparse solver path, the largest transient
+// workload).
+func BenchmarkTranYieldFoldedCascode(b *testing.B) {
+	perfsnap.Get("TranYieldFoldedCascode").Bench(b)
+}

@@ -50,6 +50,26 @@ func init() {
 		},
 	})
 	scenario.Register(scenario.Scenario{
+		Name:              "commonsource-tran",
+		Summary:           "quickstart stage step response: AC + time-domain specs via the adaptive transient integrator",
+		New:               func() problem.Problem { return NewCommonSourceTran() },
+		DefaultMaxSims:    200,
+		DefaultRefSamples: 1000,
+		Netlist: func(x []float64) (*netlist.Circuit, map[string]float64, error) {
+			return NewCommonSourceTran().TranNetlist(x)
+		},
+	})
+	scenario.Register(scenario.Scenario{
+		Name:              "foldedcascode-tran",
+		Summary:           "folded-cascode half-circuit step response: AC + time-domain specs via the adaptive transient integrator",
+		New:               func() problem.Problem { return NewFoldedCascodeTran() },
+		DefaultMaxSims:    200,
+		DefaultRefSamples: 300,
+		Netlist: func(x []float64) (*netlist.Circuit, map[string]float64, error) {
+			return NewFoldedCascodeTran().TranNetlist(x)
+		},
+	})
+	scenario.Register(scenario.Scenario{
 		Name:              "commonsource-spice",
 		Summary:           "quickstart problem evaluated through the MNA engine per sample (batched, warm-started)",
 		New:               func() problem.Problem { return NewCommonSourceSpice() },

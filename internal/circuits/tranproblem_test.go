@@ -1,0 +1,186 @@
+package circuits
+
+import (
+	"testing"
+
+	"github.com/eda-go/moheco/internal/problem"
+	"github.com/eda-go/moheco/internal/randx"
+	"github.com/eda-go/moheco/internal/sample"
+	"github.com/eda-go/moheco/internal/yieldsim"
+)
+
+// tranProblems returns both time-domain problems with their reference
+// yield pins: the registered scenarios' published operating points. The
+// bands are deliberately narrow — the estimates are deterministic at a
+// fixed (n, seed), so a drift means the evaluation pipeline changed.
+func tranProblems() []struct {
+	p        problem.BatchEvaluator
+	n        int
+	loY, hiY float64
+} {
+	return []struct {
+		p        problem.BatchEvaluator
+		n        int
+		loY, hiY float64
+	}{
+		{NewCommonSourceTran(), 2000, 0.94, 0.97},
+		{NewFoldedCascodeTran(), 500, 0.96, 0.995},
+	}
+}
+
+// The nominal reference design must pass every spec — the basic sanity of
+// the calibrated bounds.
+func TestTranNominalPassesSpecs(t *testing.T) {
+	for _, tc := range tranProblems() {
+		perf, err := tc.p.Evaluate(tc.p.(interface{ ReferenceDesign() []float64 }).ReferenceDesign(), nil)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.p.Name(), err)
+		}
+		for i, s := range tc.p.Specs() {
+			if !s.Satisfied(perf[i]) {
+				t.Errorf("%s: nominal %s = %g violates %s", tc.p.Name(), s.Name, perf[i], s)
+			}
+		}
+	}
+}
+
+// The reference yields must stay inside their published bands and strictly
+// inside (0, 1): an all-pass or all-fail oracle would stop discriminating
+// in every downstream equality test.
+func TestTranReferenceYieldPinned(t *testing.T) {
+	if testing.Short() {
+		t.Skip("reference sweeps in -short mode")
+	}
+	for _, tc := range tranProblems() {
+		x := tc.p.(interface{ ReferenceDesign() []float64 }).ReferenceDesign()
+		y, _, err := yieldsim.ReferenceWorkers(tc.p, x, tc.n, 1, nil, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.p.Name(), err)
+		}
+		t.Logf("%s: reference yield %.4f (n=%d, seed 1)", tc.p.Name(), y, tc.n)
+		if y < tc.loY || y > tc.hiY {
+			t.Errorf("%s: reference yield %.4f outside pinned band [%g, %g]",
+				tc.p.Name(), y, tc.loY, tc.hiY)
+		}
+	}
+}
+
+// The batched path must reproduce the point-wise path bit for bit — the
+// cold-start determinism contract of the transient problems is stronger
+// than the warm-started spice problems' tolerance-level agreement.
+func TestTranBatchBitIdenticalToPointwise(t *testing.T) {
+	for _, tc := range tranProblems() {
+		p := tc.p
+		x := p.(interface{ ReferenceDesign() []float64 }).ReferenceDesign()
+		rng := randx.New(21)
+		xis := sample.LHS{}.Draw(rng, 12, p.VarDim())
+		batch, errs := p.EvaluateBatch(x, xis)
+		for i, xi := range xis {
+			perf, err := p.Evaluate(x, xi)
+			if (err == nil) != (errs[i] == nil) {
+				t.Fatalf("%s sample %d: point-wise err %v, batch err %v", p.Name(), i, err, errs[i])
+			}
+			if err != nil {
+				continue
+			}
+			for j := range perf {
+				if perf[j] != batch[i][j] {
+					t.Errorf("%s sample %d perf %d: point-wise %.17g, batch %.17g",
+						p.Name(), i, j, perf[j], batch[i][j])
+				}
+			}
+		}
+	}
+}
+
+// A failing sample inside a batch must not disturb the samples after it.
+func TestTranBatchFailedSampleIsolated(t *testing.T) {
+	p := NewCommonSourceTran()
+	x := p.ReferenceDesign()
+	rng := randx.New(5)
+	xis := sample.LHS{}.Draw(rng, 6, p.VarDim())
+	xis[2] = xis[2][:p.VarDim()-1] // structurally broken sample
+	perfs, errs := p.EvaluateBatch(x, xis)
+	if errs[2] == nil {
+		t.Fatal("broken sample did not error")
+	}
+	for i := range xis {
+		if i == 2 {
+			continue
+		}
+		perf, err := p.Evaluate(x, xis[i])
+		if err != nil || errs[i] != nil {
+			t.Fatalf("sample %d errored: %v / %v", i, err, errs[i])
+		}
+		for j := range perf {
+			if perf[j] != perfs[i][j] {
+				t.Errorf("sample %d after failure: perf %d %.17g vs %.17g", i, j, perf[j], perfs[i][j])
+			}
+		}
+	}
+}
+
+// TranWindow/SetTranWindow round-trip, validate, and actually change the
+// measurement: shrinking the window below the settling time must turn the
+// settling measure into the window length (a spec violation), not an error.
+func TestTranWindowConfig(t *testing.T) {
+	p := NewCommonSourceTran()
+	tstop, step, fixed := p.TranWindow()
+	if tstop != 4e-6 || step != 4e-9 || fixed {
+		t.Fatalf("default window = (%g, %g, %v)", tstop, step, fixed)
+	}
+	for _, bad := range [][3]float64{{0, 1e-9, 0}, {1e-6, 0, 0}, {1e-6, 2e-6, 0}} {
+		if err := p.SetTranWindow(bad[0], bad[1], false); err == nil {
+			t.Errorf("SetTranWindow(%v) accepted", bad)
+		}
+	}
+	x := p.ReferenceDesign()
+	full, err := p.Evaluate(x, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A window that ends mid-transition (1τ past the edge, output still
+	// slewing) cannot satisfy the trailing-band settling requirement: the
+	// measure degrades to the window length instead of erroring, keeping
+	// the sample a failed chip rather than a failed simulation. (The
+	// registered windows leave ≥4× margin over the settling bound, so this
+	// shape only appears for genuinely broken samples there.)
+	if err := p.SetTranWindow(1.5e-7, 1.5e-10, false); err != nil {
+		t.Fatal(err)
+	}
+	short, err := p.Evaluate(x, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if short[3] != 1.5e-7 {
+		t.Errorf("unsettled window ts = %g, want the window length 1.5e-7", short[3])
+	}
+	// The fixed-step mode must run and agree with the adaptive mode at the
+	// measurement level (same physics, different grid).
+	if err := p.SetTranWindow(4e-6, 4e-9, true); err != nil {
+		t.Fatal(err)
+	}
+	fixedPerf, err := p.Evaluate(x, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, s := range p.Specs() {
+		if !s.Satisfied(fixedPerf[j]) {
+			t.Errorf("fixed-mode nominal %s = %g violates %s", s.Name, fixedPerf[j], s)
+		}
+	}
+	rel := func(a, b float64) float64 {
+		d := a - b
+		if d < 0 {
+			d = -d
+		}
+		m := 1e-12
+		if ab := a; ab > m {
+			m = ab
+		}
+		return d / m
+	}
+	if rel(fixedPerf[3], full[3]) > 0.02 {
+		t.Errorf("fixed vs adaptive settling: %g vs %g", fixedPerf[3], full[3])
+	}
+}

@@ -53,3 +53,17 @@ func (i *ISource) SourceValue(t float64) float64 {
 	}
 	return i.Pulse.Value(t)
 }
+
+// DevicePulse returns the pulse waveform attached to a V or I source, nil
+// for any other device (or an un-pulsed source) — the one lookup the
+// transient breakpoint scan and the CLI's measure-reference search share,
+// so a new pulse-capable device extends both at once.
+func DevicePulse(d Device) *Pulse {
+	switch t := d.(type) {
+	case *VSource:
+		return t.Pulse
+	case *ISource:
+		return t.Pulse
+	}
+	return nil
+}

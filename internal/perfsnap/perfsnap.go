@@ -55,12 +55,19 @@ func yieldBench(mk func() problem.Problem, ref []float64, n int) func(b *testing
 // Cases returns the tracked benchmark set: the batched-vs-pointwise pair on
 // the quickstart stage (the batch pipeline's headline), the sparse-vs-dense
 // solver pair on the folded-cascode testbench (the sparse MNA pipeline's
-// headline, dense being the PR 2 baseline), and the amortized 64-sample
-// batch pair.
+// headline, dense being the PR 2 baseline), the amortized 64-sample batch
+// pair, and the transient-scenario pair (DC + AC + adaptive-trapezoidal
+// step response per sample — the time-domain pipeline's unit of work).
 func Cases() []Case {
 	csRef := circuits.NewCommonSourceSpice().ReferenceDesign()
 	fcRef := circuits.NewFoldedCascodeSpice().ReferenceDesign()
 	return []Case{
+		{"TranYieldCommonSource", yieldBench(func() problem.Problem {
+			return circuits.NewCommonSourceTran()
+		}, csRef, 128)},
+		{"TranYieldFoldedCascode", yieldBench(func() problem.Problem {
+			return circuits.NewFoldedCascodeTran()
+		}, fcRef, 64)},
 		{"SpiceYieldBatched", yieldBench(func() problem.Problem {
 			return circuits.NewCommonSourceSpice()
 		}, csRef, 256)},

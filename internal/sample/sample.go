@@ -9,6 +9,7 @@ package sample
 
 import (
 	"fmt"
+	"strings"
 
 	"github.com/eda-go/moheco/internal/randx"
 )
@@ -84,7 +85,16 @@ func (LHS) Draw(rng *randx.Stream, n, dim int) [][]float64 {
 	return out
 }
 
-// ByName returns the sampler registered under name ("PMC", "LHS" or "Halton").
+// Names returns the canonical sampler names ByName accepts (each also
+// accepted in its display capitalization). Command-line usage strings are
+// built from this list, so the flag help and the error below can never
+// drift from the switch.
+func Names() []string { return []string{"pmc", "lhs", "halton"} }
+
+// ByName returns the sampler registered under name ("PMC", "LHS" or
+// "Halton", case per Names or per the sampler's display name). The error
+// for an unknown name lists every valid one, so a tool's message is
+// self-serving.
 func ByName(name string) (Sampler, error) {
 	switch name {
 	case "PMC", "pmc":
@@ -94,6 +104,6 @@ func ByName(name string) (Sampler, error) {
 	case "Halton", "halton":
 		return Halton{}, nil
 	default:
-		return nil, fmt.Errorf("sample: unknown sampler %q", name)
+		return nil, fmt.Errorf("sample: unknown sampler %q (valid: %s)", name, strings.Join(Names(), ", "))
 	}
 }

@@ -1,0 +1,39 @@
+package sample
+
+import (
+	"strings"
+	"testing"
+)
+
+// The canonical name list, the ByName switch and the unknown-name error
+// must stay in sync: every listed name resolves (in both capitalizations),
+// every resolved sampler reports a matching display name, and the error
+// for an unknown name lists exactly the valid set. The yieldest -sampler
+// usage string is built from Names(), so this test also pins the CLI help.
+func TestSamplerNamesInSync(t *testing.T) {
+	names := Names()
+	if len(names) == 0 {
+		t.Fatal("Names() is empty")
+	}
+	for _, n := range names {
+		s, err := ByName(n)
+		if err != nil {
+			t.Fatalf("Names() lists %q but ByName rejects it: %v", n, err)
+		}
+		if !strings.EqualFold(s.Name(), n) {
+			t.Errorf("ByName(%q) returned sampler named %q", n, s.Name())
+		}
+		if _, err := ByName(s.Name()); err != nil {
+			t.Errorf("display name %q does not round-trip through ByName: %v", s.Name(), err)
+		}
+	}
+	_, err := ByName("no-such-plan")
+	if err == nil {
+		t.Fatal("unknown sampler accepted")
+	}
+	for _, n := range names {
+		if !strings.Contains(err.Error(), n) {
+			t.Errorf("unknown-sampler error %q does not list valid name %q", err, n)
+		}
+	}
+}

@@ -17,10 +17,19 @@ import (
 // (-0 vs 0 are the only bit-distinct equal floats, and those genuinely may
 // sample differently downstream, so bitwise is the honest equality).
 
-// yieldKey canonicalizes a resolved yield request (Seed non-nil).
+// yieldKey canonicalizes a resolved yield request (Seed non-nil, Tran
+// resolved — nil only for scenarios without a transient window). The
+// transient window is keyed by the exact float bits of (tstop, step) plus
+// the integrator mode: the window changes the measured waveform, so two
+// requests differing in it are different computations even at one design.
 func yieldKey(req YieldRequest) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "yield|%s|n=%d|seed=%d|sampler=%s|x=", req.Scenario, req.N, *req.Seed, req.Sampler)
+	fmt.Fprintf(&b, "yield|%s|n=%d|seed=%d|sampler=%s", req.Scenario, req.N, *req.Seed, req.Sampler)
+	if req.Tran != nil {
+		fmt.Fprintf(&b, "|tran=%016x,%016x,%s",
+			math.Float64bits(req.Tran.TStop), math.Float64bits(req.Tran.Step), req.Tran.Mode)
+	}
+	b.WriteString("|x=")
 	appendBits(&b, req.X)
 	return b.String()
 }

@@ -112,16 +112,92 @@ type Progress struct {
 
 // YieldRequest asks for a Monte-Carlo yield estimate. Omitted fields
 // resolve to the scenario's defaults: X to the reference design, N to the
-// scenario's reference sample count, Seed to 1 and Sampler to "pmc" — the
-// exact configuration `yieldest` runs locally. Seed is a pointer so that
-// seed 0 — a perfectly valid seed locally — stays expressible on the wire
-// (`"seed": 0` ≠ an omitted seed).
+// scenario's reference sample count, Seed to 1, Sampler to "pmc" and Tran
+// to the scenario's built-in transient window — the exact configuration
+// `yieldest` runs locally. Seed is a pointer so that seed 0 — a perfectly
+// valid seed locally — stays expressible on the wire (`"seed": 0` ≠ an
+// omitted seed).
 type YieldRequest struct {
 	Scenario string    `json:"scenario"`
 	X        []float64 `json:"x,omitempty"`
 	N        int       `json:"n,omitempty"`
 	Seed     *uint64   `json:"seed,omitempty"`
 	Sampler  string    `json:"sampler,omitempty"`
+	// Tran overrides the transient window of a time-domain scenario; it is
+	// an error on scenarios without one. Zero fields keep the scenario's
+	// defaults. The resolved window is part of the canonical request key —
+	// two requests differing only in tran options never share a cached
+	// result, and a request spelling out the defaults coalesces with one
+	// that omits them.
+	Tran *TranSpec `json:"tran,omitempty"`
+}
+
+// TranSpec is the wire form of a transient window override: stop time,
+// step (initial step in adaptive mode, uniform step in fixed mode) and
+// integrator mode ("adaptive" or "fixed"; empty keeps the scenario's
+// mode).
+type TranSpec struct {
+	TStop float64 `json:"tstop,omitempty"`
+	Step  float64 `json:"step,omitempty"`
+	Mode  string  `json:"mode,omitempty"`
+}
+
+// tranProblem is the capability a time-domain problem exposes for window
+// configuration (implemented by the circuits package's transient
+// scenarios).
+type tranProblem interface {
+	TranWindow() (tstop, step float64, fixed bool)
+	SetTranWindow(tstop, step float64, fixed bool) error
+}
+
+// ResolveTran validates a transient-window override against the problem
+// and applies it (via SetTranWindow), returning the fully resolved spec —
+// nil for scenarios without a transient window, an error when spec targets
+// one of those or names an unknown mode. It is the single resolution
+// implementation behind the daemon's request handling and the CLIs'
+// -tstop/-tstep/-tranmode flags, so the accepted option surface cannot
+// drift between the served and local paths.
+func ResolveTran(p any, scenarioName string, spec *TranSpec) (*TranSpec, error) {
+	tp, ok := p.(tranProblem)
+	if !ok {
+		if spec != nil {
+			return nil, fmt.Errorf("service: scenario %q has no transient window (tran options not applicable)", scenarioName)
+		}
+		return nil, nil
+	}
+	tstop, step, fixed := tp.TranWindow()
+	if spec != nil {
+		// Zero means "keep the scenario default"; anything else must be a
+		// valid value — silently dropping a negative override would serve
+		// the default window for a mistyped request.
+		if spec.TStop < 0 || spec.Step < 0 {
+			return nil, fmt.Errorf("service: invalid tran override tstop=%g step=%g (omit or 0 keeps the scenario default)",
+				spec.TStop, spec.Step)
+		}
+		if spec.TStop > 0 {
+			tstop = spec.TStop
+		}
+		if spec.Step > 0 {
+			step = spec.Step
+		}
+		switch spec.Mode {
+		case "":
+		case "adaptive":
+			fixed = false
+		case "fixed":
+			fixed = true
+		default:
+			return nil, fmt.Errorf("service: unknown tran mode %q (adaptive | fixed)", spec.Mode)
+		}
+		if err := tp.SetTranWindow(tstop, step, fixed); err != nil {
+			return nil, err
+		}
+	}
+	mode := "adaptive"
+	if fixed {
+		mode = "fixed"
+	}
+	return &TranSpec{TStop: tstop, Step: step, Mode: mode}, nil
 }
 
 // Seed returns a *uint64 for a request's Seed field.
@@ -135,6 +211,7 @@ type YieldResult struct {
 	N         int       `json:"n"`
 	Seed      uint64    `json:"seed"`
 	Sampler   string    `json:"sampler"`
+	Tran      *TranSpec `json:"tran,omitempty"`
 	Yield     float64   `json:"yield"`
 	Std       float64   `json:"std"`
 	ElapsedMS float64   `json:"elapsed_ms"`
@@ -447,6 +524,10 @@ func (s *Server) SubmitYield(req YieldRequest) (*Job, bool, error) {
 		return nil, false, fmt.Errorf("service: scenario %q needs %d design values, got %d", req.Scenario, p.Dim(), len(x))
 	}
 	req.X = append([]float64(nil), x...)
+	req.Tran, err = ResolveTran(p, req.Scenario, req.Tran)
+	if err != nil {
+		return nil, false, err
+	}
 	key := yieldKey(req)
 	run := func(ctx context.Context, j *Job) error {
 		start := time.Now()
@@ -474,6 +555,7 @@ func (s *Server) SubmitYield(req YieldRequest) (*Job, bool, error) {
 			N:         n,
 			Seed:      seed,
 			Sampler:   req.Sampler,
+			Tran:      req.Tran,
 			Yield:     y,
 			Std:       math.Sqrt(y * (1 - y) / float64(n)),
 			ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),

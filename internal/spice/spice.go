@@ -341,13 +341,18 @@ func (e *Engine) opResult(x []float64, iters int) *OPResult {
 
 // stampCtx carries the analysis context: gmin damping, source scaling
 // (for source stepping) and, for transient steps, the time point, timestep
-// and previous node voltages (backward-Euler companion models).
+// and previous node voltages feeding the capacitor companion models
+// (backward Euler by default, trapezoidal when trap is set — icPrev then
+// holds each capacitor's current at the previous accepted point, in
+// stampPlan.caps order).
 type stampCtx struct {
 	gmin     float64
 	srcScale float64
 	time     float64   // < 0 for DC
 	h        float64   // 0 for DC
 	vPrev    []float64 // previous node voltages by node id (transient only)
+	trap     bool      // trapezoidal companion models instead of backward Euler
+	icPrev   []float64 // per-capacitor currents at the previous point (trap only)
 }
 
 // newton iterates x toward F(x)=0 under the given stamping context. It

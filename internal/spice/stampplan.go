@@ -255,13 +255,21 @@ func (p *stampPlan) stampDC(vals, F, x, scrV []float64, ctx stampCtx) {
 		vals[s.ji] -= g
 	}
 	if ctx.h > 0 {
-		// Backward-Euler companion models; capacitors are open in DC.
+		// Companion models; capacitors are open in DC. Backward Euler uses
+		// g = C/h and the pure difference current; trapezoidal uses g = 2C/h
+		// and folds in the capacitor current of the previous accepted point
+		// (i_{n+1} = (2C/h)·(Δv_{n+1} − Δv_n) − i_n), which is what makes it
+		// second order.
 		for i := range p.caps {
 			s := &p.caps[i]
 			g := s.dev.C / ctx.h
 			dv := v(s.n1) - v(s.n2)
 			dvPrev := ctx.vPrev[s.n1] - ctx.vPrev[s.n2]
 			ic := g * (dv - dvPrev)
+			if ctx.trap {
+				g *= 2
+				ic = 2*ic - ctx.icPrev[i]
+			}
 			F[s.f1] += ic
 			F[s.f2] -= ic
 			vals[s.ii] += g

@@ -1,0 +1,99 @@
+package yieldsim
+
+import (
+	"testing"
+
+	_ "github.com/eda-go/moheco/internal/circuits" // register the built-in scenarios
+	"github.com/eda-go/moheco/internal/sample"
+	"github.com/eda-go/moheco/internal/scenario"
+)
+
+// tranScenarios are the time-domain workloads whose determinism contract is
+// the strictest in the suite: the adaptive integrator's step sequence is
+// solution-dependent, so any leak of warm state or worker scheduling into
+// the evaluation would fork the grid and the estimate. The generic
+// per-scenario equivalence tests in batch_test.go already include these
+// via the registry; this file is the focused matrix mirroring
+// parallel_test.go — every sampler × worker-count × batched/fallback cell
+// must land on identical bits.
+var tranScenarios = []string{"commonsource-tran", "foldedcascode-tran"}
+
+// TestTranReferenceWorkerSamplerDeterminism asserts the reference
+// estimator's fixed-chunk scheme on the transient scenarios: for each
+// sample plan, the estimate depends only on (seed, n, sampler), never on
+// the worker count or on the batched-vs-fallback execution path.
+func TestTranReferenceWorkerSamplerDeterminism(t *testing.T) {
+	for _, name := range tranScenarios {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			sc := scenario.MustGet(name)
+			p := sc.New()
+			x, ok := scenario.ReferenceDesign(p)
+			if !ok {
+				t.Fatalf("%s: no reference design", name)
+			}
+			const n = 96
+			for _, sname := range []string{"pmc", "lhs", "halton"} {
+				smp, err := sample.ByName(sname)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, _, err := ReferenceCtx(nil, p, x, n, 11, RefOptions{Workers: 1, Sampler: smp})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, workers := range []int{3, 8, 0} {
+					got, sims, err := ReferenceCtx(nil, p, x, n, 11, RefOptions{Workers: workers, Sampler: smp})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if sims != n {
+						t.Errorf("%s/%s workers=%d: sims = %d, want %d", name, sname, workers, sims, n)
+					}
+					if got != want {
+						t.Errorf("%s/%s workers=%d: estimate %v differs from sequential %v",
+							name, sname, workers, got, want)
+					}
+				}
+				fb, _, err := ReferenceCtx(nil, hideBatch(p), x, n, 11, RefOptions{Workers: 8, Sampler: smp})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if fb != want {
+					t.Errorf("%s/%s: point-wise fallback %v differs from batched %v", name, sname, fb, want)
+				}
+			}
+		})
+	}
+}
+
+// TestTranCandidateWorkerDeterminism asserts the incremental estimator on a
+// transient scenario: worker counts change wall-clock only, never the
+// estimate, the stratum bookkeeping or the simulation count — including
+// under acceptance sampling, whose simulate-or-skip decisions are taken
+// sequentially before the simulator runs.
+func TestTranCandidateWorkerDeterminism(t *testing.T) {
+	sc := scenario.MustGet("commonsource-tran")
+	for _, as := range []bool{false, true} {
+		p := sc.New()
+		x, _ := scenario.ReferenceDesign(p)
+		var ctrSeq, ctrPar Counter
+		seq := NewCandidate(p, x, Config{AcceptanceSampling: as, Workers: 1, Sampler: sample.LHS{}}, &ctrSeq, 23)
+		par := NewCandidate(p, x, Config{AcceptanceSampling: as, Workers: 8, Sampler: sample.LHS{}}, &ctrPar, 23)
+		for _, n := range []int{20, 70, 37} {
+			if err := seq.AddSamples(n); err != nil {
+				t.Fatal(err)
+			}
+			if err := par.AddSamples(n); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if seq.Yield() != par.Yield() || seq.Samples() != par.Samples() || seq.Sims() != par.Sims() {
+			t.Errorf("AS=%v: sequential (y=%v n=%d sims=%d) vs parallel (y=%v n=%d sims=%d)",
+				as, seq.Yield(), seq.Samples(), seq.Sims(), par.Yield(), par.Samples(), par.Sims())
+		}
+		if ctrSeq.Total() != ctrPar.Total() {
+			t.Errorf("AS=%v: counters diverged: %d vs %d", as, ctrSeq.Total(), ctrPar.Total())
+		}
+	}
+}
