@@ -17,7 +17,10 @@
 // integrated — by default through the LTE-controlled adaptive trapezoidal
 // integrator (-tstep is its initial step; "fixed" pins a uniform
 // trapezoidal grid, "be" the seed's fixed backward-Euler one) — and
-// reduced to slew rate, delay, 1% settling time and overshoot.
+// reduced to slew rate, delay, 1% settling time and overshoot. Transient
+// flags against a -problem scenario without a transient stage are a usage
+// error: the command exits with code 2 and lists the tran-capable
+// scenarios.
 package main
 
 import (
@@ -25,6 +28,8 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 
 	_ "github.com/eda-go/moheco/internal/circuits" // register the built-in scenarios
 	"github.com/eda-go/moheco/internal/measure"
@@ -45,6 +50,7 @@ func main() {
 		tStep    = flag.Float64("tstep", 1e-9, "transient step (s; initial step in adaptive mode)")
 		trMode   = flag.String("tranmode", "adaptive", "transient integrator: adaptive (LTE-controlled trap), fixed (uniform trap) or be (uniform backward Euler)")
 		solver   = flag.String("solver", "auto", "linear solver backend: auto, dense or sparse")
+		lanes    = flag.Int("lanes", 0, "lockstep lane count of the sparse batch solver (0 = auto by pattern size; results are identical)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: netlistsim [flags] file.sp | netlistsim -problem NAME [flags]\n\n")
@@ -52,6 +58,11 @@ func main() {
 		fmt.Fprintf(flag.CommandLine.Output(), "\n%s", scenario.Usage())
 	}
 	flag.Parse()
+	if *lanes > 0 {
+		// Engines read MOHECO_LANES at construction, which happens after
+		// main starts; a pure wall-clock knob.
+		os.Setenv("MOHECO_LANES", strconv.Itoa(*lanes))
+	}
 
 	var (
 		ckt     *netlist.Circuit
@@ -69,7 +80,19 @@ func main() {
 		if sc.Netlist == nil {
 			fatal(fmt.Errorf("problem %q has no testbench netlist", sc.Name))
 		}
-		x, ok := scenario.ReferenceDesign(sc.New())
+		p := sc.New()
+		// The transient flags only make sense against a scenario with a
+		// transient stage (its testbench arms the step stimulus); on any
+		// other scenario they used to be accepted and silently ignored
+		// unless -tran was also given (and then integrated a stimulus-free
+		// netlist). The flags carry non-zero defaults, so explicit use is
+		// detected through flag.Visit.
+		if set := explicitTranFlags(); len(set) > 0 && !scenario.TranCapable(p) {
+			fmt.Fprintf(os.Stderr, "netlistsim: %s target scenario %q, which has no transient stage\ntran-capable scenarios: %s\n",
+				strings.Join(set, "/"), sc.Name, strings.Join(scenario.TranCapableNames(), ", "))
+			os.Exit(2)
+		}
+		x, ok := scenario.ReferenceDesign(p)
 		if !ok {
 			fatal(fmt.Errorf("problem %q has no reference design", sc.Name))
 		}
@@ -203,6 +226,20 @@ func main() {
 	} else {
 		fmt.Println("no unity-gain crossing in the swept range")
 	}
+}
+
+// explicitTranFlags returns the transient-analysis flags the user passed on
+// the command line (the flags keep non-zero defaults, so presence — not
+// value — is what distinguishes explicit use).
+func explicitTranFlags() []string {
+	var set []string
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "tran", "tstop", "tstep", "tranmode":
+			set = append(set, "-"+f.Name)
+		}
+	})
+	return set
 }
 
 func fatal(err error) {

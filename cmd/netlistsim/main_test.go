@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func buildCmd(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "netlistsim")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// Transient flags against a -problem scenario without a transient stage
+// must exit 2 and list the tran-capable scenarios. The flags carry non-zero
+// defaults, so the command must detect explicit use (flag.Visit), not
+// non-default values.
+func TestTranFlagsOnNonTranScenarioExit2(t *testing.T) {
+	bin := buildCmd(t)
+	for _, args := range [][]string{
+		{"-problem", "commonsource", "-tran", "out"},
+		{"-problem", "foldedcascode", "-tstop", "1e-6"}, // explicit, equals the default
+		{"-problem", "foldedcascode-spice", "-tranmode", "be"},
+		{"-problem", "commonsource", "-tstep", "1e-9"},
+	} {
+		out, err := exec.Command(bin, args...).CombinedOutput()
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("%v: err = %v (want exit error)\n%s", args, err, out)
+		}
+		if code := ee.ExitCode(); code != 2 {
+			t.Errorf("%v: exit code %d, want 2\n%s", args, code, out)
+		}
+		s := string(out)
+		if !strings.Contains(s, "no transient stage") {
+			t.Errorf("%v: missing rejection message in output:\n%s", args, s)
+		}
+		for _, name := range []string{"commonsource-tran", "foldedcascode-tran"} {
+			if !strings.Contains(s, name) {
+				t.Errorf("%v: tran-capable scenario %q not listed in output:\n%s", args, name, s)
+			}
+		}
+	}
+}
+
+// The same flags on a tran-capable scenario still run the transient stage,
+// and non-tran analyses on non-tran scenarios are untouched.
+func TestTranFlagsOnTranScenarioAccepted(t *testing.T) {
+	bin := buildCmd(t)
+	out, err := exec.Command(bin,
+		"-problem", "commonsource-tran", "-tran", "out", "-tranmode", "fixed", "-tstop", "1e-6").CombinedOutput()
+	if err != nil {
+		t.Fatalf("tran-capable scenario rejected: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "transient response") {
+		t.Errorf("no transient output:\n%s", out)
+	}
+
+	out, err = exec.Command(bin, "-problem", "commonsource", "-ac", "out").CombinedOutput()
+	if err != nil {
+		t.Fatalf("AC-only run on non-tran scenario failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "AC response") {
+		t.Errorf("no AC output:\n%s", out)
+	}
+}

@@ -6,13 +6,14 @@
 //
 //	yieldest -problem foldedcascode [-n N] [-seed S] [-workers N] [-x "v1,v2,..."]
 //	         [-sampler pmc|lhs|halton] [-tstop T] [-tstep T] [-tranmode adaptive|fixed]
-//	         [-timeout DUR] [-server URL]
+//	         [-timeout DUR] [-server URL] [-lanes K]
 //
 // Without -x, the problem's built-in reference design is analyzed; without
 // -n, the problem's default reference sample count is used. Problems come
 // from the scenario registry (-h lists them). The -tstop/-tstep/-tranmode
-// flags override the transient window of a time-domain problem (an error on
-// problems without one). With -server, the estimate is served by a mohecod
+// flags override the transient window of a time-domain problem; on a
+// problem without one they are a usage error — the command exits with code
+// 2 and lists the tran-capable scenarios. With -server, the estimate is served by a mohecod
 // daemon — results are bit-identical to the local path at the same
 // (problem, x, n, seed, sampler, tran window), so the flag only changes
 // where the simulations burn. -timeout cancels the run (local or served)
@@ -51,6 +52,7 @@ func main() {
 		tranMode = flag.String("tranmode", "", "transient integrator mode: adaptive | fixed (default: problem's)")
 		timeout  = flag.Duration("timeout", 0, "cancel the estimate after this duration (exit code 2)")
 		server   = flag.String("server", "", "mohecod daemon URL (e.g. http://127.0.0.1:8650); empty = run locally")
+		lanes    = flag.Int("lanes", 0, "lockstep lane count of the sparse batch solver (0 = auto by pattern size; results are identical)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -60,6 +62,11 @@ func main() {
 		fmt.Fprintf(flag.CommandLine.Output(), "\n%s", scenario.Usage())
 	}
 	flag.Parse()
+	if *lanes > 0 {
+		// Engines read MOHECO_LANES at construction, which happens after
+		// main starts; a pure wall-clock knob, like -workers.
+		os.Setenv("MOHECO_LANES", strconv.Itoa(*lanes))
+	}
 
 	stopProfiles, err := profiling.Start(*cpuProf, *memProf)
 	if err != nil {
@@ -113,6 +120,13 @@ func main() {
 	if *tStop != 0 || *tStep != 0 || *tranMode != "" {
 		tranSpec = &service.TranSpec{TStop: *tStop, Step: *tStep, Mode: *tranMode}
 		if _, err := service.ResolveTran(p, *probName, tranSpec); err != nil {
+			if errors.Is(err, service.ErrNoTranWindow) {
+				// A usage error, not a runtime failure: point at the
+				// scenarios the transient flags apply to and exit 2.
+				fmt.Fprintf(os.Stderr, "yieldest: %v\ntran-capable scenarios: %s\n",
+					err, strings.Join(scenario.TranCapableNames(), ", "))
+				os.Exit(2)
+			}
 			fatal(err)
 		}
 	}

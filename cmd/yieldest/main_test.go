@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCmd compiles the command under test into a temp dir and returns the
+// binary path.
+func buildCmd(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "yieldest")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// Transient flags against a scenario without a transient stage must exit 2
+// and list the tran-capable scenarios — not be half-applied or reported as a
+// generic runtime failure.
+func TestTranFlagsOnNonTranScenarioExit2(t *testing.T) {
+	bin := buildCmd(t)
+	for _, args := range [][]string{
+		{"-problem", "foldedcascode", "-tranmode", "fixed"},
+		{"-problem", "commonsource-spice", "-tstop", "2e-6"},
+		{"-problem", "telescopic", "-tstep", "1e-9"},
+	} {
+		out, err := exec.Command(bin, args...).CombinedOutput()
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("%v: err = %v (want exit error)\n%s", args, err, out)
+		}
+		if code := ee.ExitCode(); code != 2 {
+			t.Errorf("%v: exit code %d, want 2\n%s", args, code, out)
+		}
+		s := string(out)
+		if !strings.Contains(s, "has no transient window") {
+			t.Errorf("%v: missing rejection message in output:\n%s", args, s)
+		}
+		for _, name := range []string{"commonsource-tran", "foldedcascode-tran"} {
+			if !strings.Contains(s, name) {
+				t.Errorf("%v: tran-capable scenario %q not listed in output:\n%s", args, name, s)
+			}
+		}
+	}
+}
+
+// The same flags on a tran-capable scenario must be accepted (the estimate
+// runs; keep it tiny).
+func TestTranFlagsOnTranScenarioAccepted(t *testing.T) {
+	bin := buildCmd(t)
+	out, err := exec.Command(bin,
+		"-problem", "commonsource-tran", "-tranmode", "fixed", "-n", "8", "-workers", "1").CombinedOutput()
+	if err != nil {
+		t.Fatalf("tran-capable scenario rejected: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "yield:") {
+		t.Errorf("no yield line in output:\n%s", out)
+	}
+}

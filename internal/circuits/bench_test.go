@@ -98,9 +98,16 @@ func BenchmarkSpiceYieldPointwise(b *testing.B) {
 // size). Workers=1, so the ratio is pure per-sample solver cost.
 
 // BenchmarkSpiceYieldFoldedCascodeSparse runs the yield estimate on the
-// static-pattern sparse LU path with symbolic factorization reuse.
+// static-pattern sparse LU path with symbolic factorization reuse; auto
+// lane resolution engages the 8-lane lockstep kernel at this pattern size.
 func BenchmarkSpiceYieldFoldedCascodeSparse(b *testing.B) {
 	perfsnap.Get("SpiceYieldFoldedCascodeSparse").Bench(b)
+}
+
+// BenchmarkSpiceYieldFoldedCascodeSparseScalar pins the lane count to 1 —
+// the scalar sparse baseline the lockstep kernel is measured against.
+func BenchmarkSpiceYieldFoldedCascodeSparseScalar(b *testing.B) {
+	perfsnap.Get("SpiceYieldFoldedCascodeSparseScalar").Bench(b)
 }
 
 // BenchmarkSpiceYieldFoldedCascodeDense runs the same estimate on the dense

@@ -23,8 +23,9 @@ import (
 // Like CommonSourceSpice it implements problem.BatchEvaluator: one compiled
 // context (netlist + engine + symbolic factorization) per design, model
 // cards rewritten in place per sample, and every DC solve warm-started from
-// the previous sample's operating point with a cold-start fallback, so
-// failure injection matches the point-wise path. The performance vector is
+// the design's fixed nominal operating point with a cold-start fallback, so
+// failure injection matches the point-wise path and lane grouping stays a
+// pure function of the chunk. The performance vector is
 // aligned with the behavioural FoldedCascode's specs: [A0 dB, GBW Hz, PM
 // deg, OS V, power W, satmargin V] — the half circuit draws roughly half
 // the full differential supply current, so its yield surface is its own
@@ -35,6 +36,8 @@ type FoldedCascodeSpice struct {
 	// solver pins the engine's linear-solver backend; SolverAuto (the zero
 	// value) resolves to sparse at this circuit's size.
 	solver spice.SolverKind
+	// lanes pins the engine's lockstep lane count (0 = auto).
+	lanes int
 }
 
 // NewFoldedCascodeSpice builds the simulator-in-the-loop folded-cascode
@@ -48,6 +51,14 @@ func NewFoldedCascodeSpice() *FoldedCascodeSpice {
 // chaining.
 func (p *FoldedCascodeSpice) SetSolver(k spice.SolverKind) *FoldedCascodeSpice {
 	p.solver = k
+	return p
+}
+
+// SetLanes pins the engine's lockstep lane count (0 = auto by pattern size,
+// 1 = scalar path) — the hook the lockstep benchmarks and equivalence tests
+// use. It returns p for chaining.
+func (p *FoldedCascodeSpice) SetLanes(k int) *FoldedCascodeSpice {
+	p.lanes = k
 	return p
 }
 
@@ -82,16 +93,18 @@ type fcSlotCard struct {
 // topology, MNA engine (symbolic factorization included) and the perturbed
 // model cards are constructed once per candidate; each sample rewrites the
 // seven cards in place and re-solves, warm-starting Newton from the
-// previous sample's operating point.
+// design's nominal operating point.
 type fcSpiceContext struct {
 	p     *FoldedCascodeSpice
 	ckt   *netlist.Circuit
 	eng   *spice.Engine
 	freqs []float64
 	cards []fcSlotCard
-	// warm is the operating point of the last converged sample; nil until
-	// one has converged (the first solve of a batch is always cold).
-	warm *spice.OPResult
+	// warm0 is the nominal operating point, solved once at compile and used
+	// to warm-start every sample — fixed so sample solves are independent of
+	// batch order and lane grouping (nil when the nominal does not converge;
+	// samples then solve cold).
+	warm0 *spice.OPResult
 }
 
 // compile builds the per-design evaluation context.
@@ -133,11 +146,17 @@ func (p *FoldedCascodeSpice) compile(x []float64) (*fcSpiceContext, error) {
 		return nil, err
 	}
 	ctx.ckt = ckt
-	eng, err := spice.New(ckt, spice.Options{Nodeset: nodeset, Solver: p.solver})
+	eng, err := spice.New(ckt, spice.Options{Nodeset: nodeset, Solver: p.solver, Lanes: p.lanes})
 	if err != nil {
 		return nil, err
 	}
 	ctx.eng = eng
+
+	// Solve the nominal operating point once; every sample warm-starts from
+	// it (cards are already nominal from setCards(nil) above).
+	if op, err := eng.DCOperatingPoint(); err == nil {
+		ctx.warm0 = op
+	}
 	return ctx, nil
 }
 
@@ -153,27 +172,31 @@ func (ctx *fcSpiceContext) setCards(xi []float64) {
 }
 
 // eval runs one sample through the compiled context: rewrite the cards,
-// solve DC (warm-started when a previous sample converged) and sweep AC.
+// solve DC (warm-started from the nominal operating point) and sweep AC.
 // Non-convergence returns an error, which the yield machinery counts as a
 // failed sample — the failure-injection path a crashing HSPICE run takes.
 func (ctx *fcSpiceContext) eval(xi []float64) ([]float64, error) {
-	p := ctx.p
-	inner := p.inner
-	if err := inner.space.CheckVector(xi); err != nil {
+	if err := ctx.p.inner.space.CheckVector(xi); err != nil {
 		return nil, err
 	}
-	vdd := inner.tech.VDD
 	ctx.setCards(xi)
-
-	op, err := ctx.eng.DCOperatingPointFrom(ctx.warm)
+	op, err := ctx.eng.DCOperatingPointFrom(ctx.warm0)
 	if err != nil {
 		return nil, fmt.Errorf("folded-cascode-spice: %w", err)
 	}
-	ctx.warm = op
 	ac, err := ctx.eng.AC(op, ctx.freqs)
 	if err != nil {
 		return nil, fmt.Errorf("folded-cascode-spice: %w", err)
 	}
+	return ctx.measures(op, ac)
+}
+
+// measures extracts the performance vector from one sample's solved
+// operating point and AC sweep — shared by the point-wise and lockstep
+// paths.
+func (ctx *fcSpiceContext) measures(op *spice.OPResult, ac *spice.ACResult) ([]float64, error) {
+	inner := ctx.p.inner
+	vdd := inner.tech.VDD
 	h, err := ac.VNode(ctx.ckt, "out")
 	if err != nil {
 		return nil, err
@@ -229,8 +252,8 @@ func (ctx *fcSpiceContext) eval(xi []float64) ([]float64, error) {
 }
 
 // Evaluate implements problem.Problem by compiling a one-shot context and
-// solving cold — the point-wise path, bit-for-bit the batch path's first
-// sample.
+// warm-starting from its nominal operating point — the point-wise path,
+// bit-for-bit every batch path's result for the same sample.
 func (p *FoldedCascodeSpice) Evaluate(x, xi []float64) ([]float64, error) {
 	ctx, err := p.compile(x)
 	if err != nil {
@@ -240,9 +263,13 @@ func (p *FoldedCascodeSpice) Evaluate(x, xi []float64) ([]float64, error) {
 }
 
 // EvaluateBatch implements problem.BatchEvaluator: one compiled context per
-// design, card perturbations applied in place per sample, and each DC solve
-// warm-started from the last converged sample. A failed sample leaves the
-// warm state untouched.
+// design, with samples grouped into K lockstep lanes (K = the engine's
+// resolved lane count) so each group's DC Newton iterations and AC
+// frequency points factor and solve in one SoA traversal. Lane grouping is
+// a pure function of the chunk — samples [0,K), [K,2K), … in order, the
+// last group partially active — and every solve warm-starts from the same
+// fixed nominal point, so the results are bit-identical to the point-wise
+// path for any lane width and any worker count.
 func (p *FoldedCascodeSpice) EvaluateBatch(x []float64, xis [][]float64) ([][]float64, []error) {
 	perfs := make([][]float64, len(xis))
 	errs := make([]error, len(xis))
@@ -253,8 +280,56 @@ func (p *FoldedCascodeSpice) EvaluateBatch(x []float64, xis [][]float64) ([][]fl
 		}
 		return perfs, errs
 	}
-	for i, xi := range xis {
-		perfs[i], errs[i] = ctx.eval(xi)
+	k := ctx.eng.Lanes()
+	if k <= 1 {
+		for i, xi := range xis {
+			perfs[i], errs[i] = ctx.eval(xi)
+		}
+		return perfs, errs
+	}
+	nc := len(ctx.cards)
+	lanes := make([][]mos.Params, k)
+	for l := range lanes {
+		lanes[l] = make([]mos.Params, nc)
+	}
+	active := make([]bool, k)
+	set := func(l int) {
+		for i := 0; i < nc; i++ {
+			*ctx.cards[i].card = lanes[l][i]
+		}
+	}
+	for g := 0; g < len(xis); g += k {
+		m := min(k, len(xis)-g)
+		for l := 0; l < k; l++ {
+			active[l] = false
+		}
+		for l := 0; l < m; l++ {
+			xi := xis[g+l]
+			if err := p.inner.space.CheckVector(xi); err != nil {
+				errs[g+l] = err
+				continue
+			}
+			ctx.setCards(xi)
+			for i := 0; i < nc; i++ {
+				lanes[l][i] = *ctx.cards[i].card
+			}
+			active[l] = true
+		}
+		ops, dcErrs := ctx.eng.DCOperatingPointBatchFrom(ctx.warm0, active, set)
+		acs, acErrs := ctx.eng.ACBatch(ops, ctx.freqs, set)
+		for l := 0; l < m; l++ {
+			if !active[l] {
+				continue
+			}
+			switch {
+			case dcErrs[l] != nil:
+				errs[g+l] = fmt.Errorf("folded-cascode-spice: %w", dcErrs[l])
+			case acErrs[l] != nil:
+				errs[g+l] = fmt.Errorf("folded-cascode-spice: %w", acErrs[l])
+			default:
+				perfs[g+l], errs[g+l] = ctx.measures(ops[l], acs[l])
+			}
+		}
 	}
 	return perfs, errs
 }

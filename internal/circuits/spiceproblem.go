@@ -24,12 +24,17 @@ import (
 // candidate share a single compiled evaluation context — the netlist and
 // engine are built once per design, each sample rewrites the perturbed
 // model cards in place, and every DC Newton solve is warm-started from the
-// previous sample's operating point (with a cold-start fallback on
-// non-convergence, so failure injection matches the point-wise path).
-// Point-wise Evaluate remains two to three orders of magnitude slower per
-// sample than the behavioural evaluator — the gap that motivates the
-// paper's budget allocation in the first place; the batch path claws back
-// the per-sample setup and solver cost that gap is made of.
+// design's nominal operating point (solved once at compile; cold-start
+// fallback on non-convergence, so failure injection matches the point-wise
+// path). Warm-starting from the fixed nominal point rather than from the
+// previous sample keeps every sample's solve independent of batch order,
+// which is what lets the lockstep path group samples into lanes freely:
+// point-wise, batched at any lane width, and served results are all the
+// same bits. Point-wise Evaluate remains two to three orders of magnitude
+// slower per sample than the behavioural evaluator — the gap that
+// motivates the paper's budget allocation in the first place; the batch
+// path claws back the per-sample setup and solver cost that gap is made
+// of, and the lockstep kernel amortizes the sparse traversal across lanes.
 type CommonSourceSpice struct {
 	inner *CommonSource
 	tech  *pdk.Tech
@@ -38,6 +43,8 @@ type CommonSourceSpice struct {
 	// value) resolves to sparse — the 6-unknown testbench sits exactly at
 	// the auto threshold, where sparse already measures ~20% faster.
 	solver spice.SolverKind
+	// lanes pins the engine's lockstep lane count (0 = auto).
+	lanes int
 }
 
 // SetSolver pins the MNA engine's linear-solver backend — the hook the
@@ -45,6 +52,14 @@ type CommonSourceSpice struct {
 // chaining.
 func (p *CommonSourceSpice) SetSolver(k spice.SolverKind) *CommonSourceSpice {
 	p.solver = k
+	return p
+}
+
+// SetLanes pins the engine's lockstep lane count (0 = auto by pattern size,
+// 1 = scalar path) — the hook the lockstep benchmarks and equivalence tests
+// use. It returns p for chaining.
+func (p *CommonSourceSpice) SetLanes(k int) *CommonSourceSpice {
+	p.lanes = k
 	return p
 }
 
@@ -80,7 +95,7 @@ func (p *CommonSourceSpice) ReferenceDesign() []float64 { return p.inner.Referen
 // topology, the MNA engine and the device model cards are constructed once
 // per candidate; each sample only overwrites the three perturbed cards (and
 // the input-servo bias) in place and re-solves, warm-starting Newton from
-// the previous sample's operating point.
+// the design's nominal operating point.
 type spiceContext struct {
 	p              *CommonSourceSpice
 	ib, w1, l1, w2 float64
@@ -96,9 +111,23 @@ type spiceContext struct {
 	drvCard, loadCard, biasCard *mos.Params
 	drv, load, bias             *mos.Device
 
-	// warm is the operating point of the last converged sample; nil until
-	// a sample has converged (the first solve of a batch is always cold).
-	warm *spice.OPResult
+	// warm0 is the nominal operating point, solved once at compile and
+	// used to warm-start every sample's Newton solve. It is fixed for the
+	// context's lifetime: a per-sample rolling warm state would make each
+	// solve depend on which samples ran before it in which order, which
+	// the lockstep lane grouping (and Workers=1-vs-N bit-identity) forbids.
+	// nil when the nominal point does not converge — samples then solve
+	// cold, exactly as DCOperatingPointFrom(nil) specifies.
+	warm0 *spice.OPResult
+}
+
+// csLaneState is the complete per-sample engine state of one lockstep lane:
+// the three perturbed model cards plus the input-servo bias. The LaneSetter
+// copies it over the context's live cards, so switching lanes is three
+// struct copies and a float store — no Perturb/Apply recompute.
+type csLaneState struct {
+	drv, load, bias mos.Params
+	vinDC           float64
 }
 
 // compile builds the per-design evaluation context. The netlist is
@@ -137,12 +166,29 @@ func (p *CommonSourceSpice) compile(x []float64) (*spiceContext, error) {
 	c.AddC("CL", "out", "0", p.inner.CL)
 	ctx.ckt = c
 
-	eng, err := spice.New(c, spice.Options{Solver: p.solver})
+	eng, err := spice.New(c, spice.Options{Solver: p.solver, Lanes: p.lanes})
 	if err != nil {
 		return nil, err
 	}
 	ctx.eng = eng
+
+	// Solve the nominal operating point once; every sample warm-starts from
+	// it. A non-converging nominal leaves warm0 nil and samples solve cold.
+	ctx.setSample(nil)
+	if op, err := eng.DCOperatingPoint(); err == nil {
+		ctx.warm0 = op
+	}
 	return ctx, nil
+}
+
+// setSample writes one sample's engine state: the three perturbed model
+// cards and the input-servo bias tracking the perturbed mirror (nil =
+// nominal).
+func (ctx *spiceContext) setSample(xi []float64) {
+	vdd, k := ctx.p.tech.VDD, mirrorRatio
+	ctx.setCards(xi)
+	id := clampMin(mirror(ctx.bias, ctx.load, ctx.ib/k, vdd/2), 1e-8)
+	ctx.vin.DC = ctx.drv.VgsForID(id, 0)
 }
 
 // setCards rewrites the three perturbed model cards in place for the given
@@ -159,30 +205,32 @@ func (ctx *spiceContext) setCards(xi []float64) {
 }
 
 // eval runs one sample through the compiled context: rewrite the cards,
-// re-bias the input servo, solve DC (warm-started when a previous sample of
-// this context converged) and sweep AC. Non-convergence returns an error,
-// which the yield machinery counts as a failed sample — the same
+// re-bias the input servo, solve DC (warm-started from the nominal
+// operating point) and sweep AC. Non-convergence returns an error, which
+// the yield machinery counts as a failed sample — the same
 // failure-injection path a crashing HSPICE run takes in the paper's flow.
 func (ctx *spiceContext) eval(xi []float64) ([]float64, error) {
-	p := ctx.p
-	if err := p.inner.space.CheckVector(xi); err != nil {
+	if err := ctx.p.inner.space.CheckVector(xi); err != nil {
 		return nil, err
 	}
-	vdd := p.tech.VDD
-	k := mirrorRatio
-	ctx.setCards(xi)
-	id := clampMin(mirror(ctx.bias, ctx.load, ctx.ib/k, vdd/2), 1e-8)
-	ctx.vin.DC = ctx.drv.VgsForID(id, 0)
-
-	op, err := ctx.eng.DCOperatingPointFrom(ctx.warm)
+	ctx.setSample(xi)
+	op, err := ctx.eng.DCOperatingPointFrom(ctx.warm0)
 	if err != nil {
 		return nil, fmt.Errorf("common-source-spice: %w", err)
 	}
-	ctx.warm = op
 	ac, err := ctx.eng.AC(op, ctx.freqs)
 	if err != nil {
 		return nil, fmt.Errorf("common-source-spice: %w", err)
 	}
+	return ctx.measures(op, ac)
+}
+
+// measures extracts the performance vector from one sample's solved
+// operating point and AC sweep — shared by the point-wise and lockstep
+// paths.
+func (ctx *spiceContext) measures(op *spice.OPResult, ac *spice.ACResult) ([]float64, error) {
+	p := ctx.p
+	vdd := p.tech.VDD
 	h, err := ac.VNode(ctx.ckt, "out")
 	if err != nil {
 		return nil, err
@@ -218,8 +266,8 @@ func (ctx *spiceContext) eval(xi []float64) ([]float64, error) {
 }
 
 // Evaluate implements problem.Problem by compiling a one-shot context and
-// solving cold — the point-wise path, bit-for-bit the batch path's first
-// sample.
+// warm-starting from its nominal operating point — the point-wise path,
+// bit-for-bit every batch path's result for the same sample.
 func (p *CommonSourceSpice) Evaluate(x, xi []float64) ([]float64, error) {
 	ctx, err := p.compile(x)
 	if err != nil {
@@ -229,10 +277,14 @@ func (p *CommonSourceSpice) Evaluate(x, xi []float64) ([]float64, error) {
 }
 
 // EvaluateBatch implements problem.BatchEvaluator: one compiled context per
-// design, model-card perturbations applied in place per sample, and each DC
-// solve warm-started from the last converged sample. A failed sample leaves
-// the warm state untouched (the next sample restarts from the last good
-// operating point, or cold when none has converged yet).
+// design, with samples grouped into K lockstep lanes (K = the engine's
+// resolved lane count) so each group's DC Newton iterations and AC
+// frequency points factor and solve in one SoA traversal. Lane grouping is
+// a pure function of the chunk — samples [0,K), [K,2K), … in order, the
+// last group partially active — never of worker schedule, and every solve
+// warm-starts from the same fixed nominal point, so the results are
+// bit-identical to the point-wise path for any lane width and any worker
+// count.
 func (p *CommonSourceSpice) EvaluateBatch(x []float64, xis [][]float64) ([][]float64, []error) {
 	perfs := make([][]float64, len(xis))
 	errs := make([]error, len(xis))
@@ -243,8 +295,54 @@ func (p *CommonSourceSpice) EvaluateBatch(x []float64, xis [][]float64) ([][]flo
 		}
 		return perfs, errs
 	}
-	for i, xi := range xis {
-		perfs[i], errs[i] = ctx.eval(xi)
+	k := ctx.eng.Lanes()
+	if k <= 1 {
+		for i, xi := range xis {
+			perfs[i], errs[i] = ctx.eval(xi)
+		}
+		return perfs, errs
+	}
+	lanes := make([]csLaneState, k)
+	active := make([]bool, k)
+	set := func(l int) {
+		*ctx.drvCard = lanes[l].drv
+		*ctx.loadCard = lanes[l].load
+		*ctx.biasCard = lanes[l].bias
+		ctx.vin.DC = lanes[l].vinDC
+	}
+	for g := 0; g < len(xis); g += k {
+		m := min(k, len(xis)-g)
+		for l := 0; l < k; l++ {
+			active[l] = false
+		}
+		for l := 0; l < m; l++ {
+			xi := xis[g+l]
+			if err := p.inner.space.CheckVector(xi); err != nil {
+				errs[g+l] = err
+				continue
+			}
+			ctx.setSample(xi)
+			lanes[l] = csLaneState{
+				drv: *ctx.drvCard, load: *ctx.loadCard, bias: *ctx.biasCard,
+				vinDC: ctx.vin.DC,
+			}
+			active[l] = true
+		}
+		ops, dcErrs := ctx.eng.DCOperatingPointBatchFrom(ctx.warm0, active, set)
+		acs, acErrs := ctx.eng.ACBatch(ops, ctx.freqs, set)
+		for l := 0; l < m; l++ {
+			if !active[l] {
+				continue
+			}
+			switch {
+			case dcErrs[l] != nil:
+				errs[g+l] = fmt.Errorf("common-source-spice: %w", dcErrs[l])
+			case acErrs[l] != nil:
+				errs[g+l] = fmt.Errorf("common-source-spice: %w", acErrs[l])
+			default:
+				perfs[g+l], errs[g+l] = ctx.measures(ops[l], acs[l])
+			}
+		}
 	}
 	return perfs, errs
 }

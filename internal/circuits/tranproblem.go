@@ -5,6 +5,7 @@ import (
 
 	"github.com/eda-go/moheco/internal/constraint"
 	"github.com/eda-go/moheco/internal/measure"
+	"github.com/eda-go/moheco/internal/mos"
 	"github.com/eda-go/moheco/internal/netlist"
 	"github.com/eda-go/moheco/internal/problem"
 	"github.com/eda-go/moheco/internal/spice"
@@ -28,8 +29,12 @@ import (
 // yield pipeline asserts per scenario. Cold-starting every sample makes the
 // per-sample result a pure function of (x, ξ), so every execution path —
 // point-wise, batched, any worker count, served — lands on the same bits.
-// The batch path still amortizes what dominates per-design cost: netlist
-// construction, engine assembly and the sparse symbolic factorization.
+// The batch path amortizes what dominates per-design cost: netlist
+// construction, engine assembly and the sparse symbolic factorization; the
+// lockstep kernel additionally batches the cold DC solves and AC sweeps of
+// K samples per traversal (bit-identical to the scalar solves by the lane
+// contract), while the adaptive transient integration stays scalar per
+// lane — its step grid is per-sample, so lanes have nothing to share.
 
 // TranConfig is the embeddable transient-window configuration of a
 // time-domain problem: the integration window, the initial (adaptive) or
@@ -136,6 +141,13 @@ func NewCommonSourceTran() *CommonSourceTran {
 	return p
 }
 
+// SetLanes pins the underlying engine's lockstep lane count (0 = auto,
+// 1 = scalar path). It returns p for chaining.
+func (p *CommonSourceTran) SetLanes(k int) *CommonSourceTran {
+	p.spice.SetLanes(k)
+	return p
+}
+
 // Name implements problem.Problem.
 func (p *CommonSourceTran) Name() string { return "common-source-0.35um-tran" }
 
@@ -154,29 +166,23 @@ func (p *CommonSourceTran) VarDim() int { return p.spice.VarDim() }
 // ReferenceDesign returns the behavioural problem's reference sizing.
 func (p *CommonSourceTran) ReferenceDesign() []float64 { return p.spice.ReferenceDesign() }
 
-// evalTran runs one sample through a compiled context: rewrite the cards,
-// re-bias the input servo and its step drive, cold-solve DC (see the
-// determinism contract above), sweep AC and integrate the step response.
-func (p *CommonSourceTran) evalTran(ctx *spiceContext, xi []float64) ([]float64, error) {
+// setSample writes one sample's engine state: the perturbed cards, the
+// input-servo bias and the step drive riding on it.
+func (p *CommonSourceTran) setSample(ctx *spiceContext, xi []float64) {
 	inner := ctx.p.inner
-	if err := inner.space.CheckVector(xi); err != nil {
-		return nil, err
-	}
 	ctx.setCards(xi)
 	id := clampMin(mirror(ctx.bias, ctx.load, ctx.ib/mirrorRatio, inner.tech.VDD/2), 1e-8)
 	vg := ctx.drv.VgsForID(id, 0)
 	ctx.vin.DC = vg
 	ctx.vin.Pulse.V1 = vg
 	ctx.vin.Pulse.V2 = vg + csTranAmp
+}
 
-	op, err := ctx.eng.DCOperatingPoint()
-	if err != nil {
-		return nil, fmt.Errorf("common-source-tran: %w", err)
-	}
-	ac, err := ctx.eng.AC(op, ctx.freqs)
-	if err != nil {
-		return nil, fmt.Errorf("common-source-tran: %w", err)
-	}
+// tranMeasures reduces one sample's solved operating point and AC sweep to
+// the performance vector, running the transient integration on the way. It
+// must be called with the sample's engine state installed — the integrator
+// re-stamps the devices every step.
+func (p *CommonSourceTran) tranMeasures(ctx *spiceContext, op *spice.OPResult, ac *spice.ACResult) ([]float64, error) {
 	h, err := ac.VNode(ctx.ckt, "out")
 	if err != nil {
 		return nil, err
@@ -197,6 +203,25 @@ func (p *CommonSourceTran) evalTran(ctx *spiceContext, xi []float64) ([]float64,
 		return nil, fmt.Errorf("common-source-tran: %w", err)
 	}
 	return []float64{a0dB, gbw, slew, ts, os}, nil
+}
+
+// evalTran runs one sample through a compiled context: rewrite the cards,
+// re-bias the input servo and its step drive, cold-solve DC (see the
+// determinism contract above), sweep AC and integrate the step response.
+func (p *CommonSourceTran) evalTran(ctx *spiceContext, xi []float64) ([]float64, error) {
+	if err := ctx.p.inner.space.CheckVector(xi); err != nil {
+		return nil, err
+	}
+	p.setSample(ctx, xi)
+	op, err := ctx.eng.DCOperatingPoint()
+	if err != nil {
+		return nil, fmt.Errorf("common-source-tran: %w", err)
+	}
+	ac, err := ctx.eng.AC(op, ctx.freqs)
+	if err != nil {
+		return nil, fmt.Errorf("common-source-tran: %w", err)
+	}
+	return p.tranMeasures(ctx, op, ac)
 }
 
 // compile builds the per-design context: the AC testbench of the spice
@@ -220,8 +245,19 @@ func (p *CommonSourceTran) Evaluate(x, xi []float64) ([]float64, error) {
 	return p.evalTran(ctx, xi)
 }
 
+// csTranLaneState is the complete per-sample engine state of one lockstep
+// lane of the step-response testbench: the three perturbed cards plus the
+// servo bias and the step levels riding on it.
+type csTranLaneState struct {
+	drv, load, bias mos.Params
+	vinDC, v1, v2   float64
+}
+
 // EvaluateBatch implements problem.BatchEvaluator: one compiled context
-// (netlist, engine, stamp plan) per design, every sample cold-started.
+// (netlist, engine, stamp plan) per design, every sample cold-started. The
+// cold DC solves and AC sweeps of K samples run through the lockstep kernel
+// (bit-identical to the scalar solves by the lane contract); the adaptive
+// transient integration runs scalar per lane under that lane's state.
 func (p *CommonSourceTran) EvaluateBatch(x []float64, xis [][]float64) ([][]float64, []error) {
 	perfs := make([][]float64, len(xis))
 	errs := make([]error, len(xis))
@@ -232,8 +268,57 @@ func (p *CommonSourceTran) EvaluateBatch(x []float64, xis [][]float64) ([][]floa
 		}
 		return perfs, errs
 	}
-	for i, xi := range xis {
-		perfs[i], errs[i] = p.evalTran(ctx, xi)
+	k := ctx.eng.Lanes()
+	if k <= 1 {
+		for i, xi := range xis {
+			perfs[i], errs[i] = p.evalTran(ctx, xi)
+		}
+		return perfs, errs
+	}
+	lanes := make([]csTranLaneState, k)
+	active := make([]bool, k)
+	set := func(l int) {
+		*ctx.drvCard = lanes[l].drv
+		*ctx.loadCard = lanes[l].load
+		*ctx.biasCard = lanes[l].bias
+		ctx.vin.DC = lanes[l].vinDC
+		ctx.vin.Pulse.V1 = lanes[l].v1
+		ctx.vin.Pulse.V2 = lanes[l].v2
+	}
+	for g := 0; g < len(xis); g += k {
+		m := min(k, len(xis)-g)
+		for l := 0; l < k; l++ {
+			active[l] = false
+		}
+		for l := 0; l < m; l++ {
+			xi := xis[g+l]
+			if err := ctx.p.inner.space.CheckVector(xi); err != nil {
+				errs[g+l] = err
+				continue
+			}
+			p.setSample(ctx, xi)
+			lanes[l] = csTranLaneState{
+				drv: *ctx.drvCard, load: *ctx.loadCard, bias: *ctx.biasCard,
+				vinDC: ctx.vin.DC, v1: ctx.vin.Pulse.V1, v2: ctx.vin.Pulse.V2,
+			}
+			active[l] = true
+		}
+		ops, dcErrs := ctx.eng.DCOperatingPointBatch(active, set)
+		acs, acErrs := ctx.eng.ACBatch(ops, ctx.freqs, set)
+		for l := 0; l < m; l++ {
+			if !active[l] {
+				continue
+			}
+			switch {
+			case dcErrs[l] != nil:
+				errs[g+l] = fmt.Errorf("common-source-tran: %w", dcErrs[l])
+			case acErrs[l] != nil:
+				errs[g+l] = fmt.Errorf("common-source-tran: %w", acErrs[l])
+			default:
+				set(l)
+				perfs[g+l], errs[g+l] = p.tranMeasures(ctx, ops[l], acs[l])
+			}
+		}
 	}
 	return perfs, errs
 }
@@ -284,6 +369,13 @@ func NewFoldedCascodeTran() *FoldedCascodeTran {
 	return p
 }
 
+// SetLanes pins the underlying engine's lockstep lane count (0 = auto,
+// 1 = scalar path). It returns p for chaining.
+func (p *FoldedCascodeTran) SetLanes(k int) *FoldedCascodeTran {
+	p.spice.SetLanes(k)
+	return p
+}
+
 // Name implements problem.Problem.
 func (p *FoldedCascodeTran) Name() string { return "folded-cascode-0.35um-tran" }
 
@@ -326,22 +418,11 @@ func (p *FoldedCascodeTran) compile(x []float64) (*fcSpiceContext, *netlist.VSou
 	return ctx, vin, nil
 }
 
-// evalTran runs one sample: rewrite the cards, cold-solve DC, sweep AC and
-// integrate the step response.
-func (p *FoldedCascodeTran) evalTran(ctx *fcSpiceContext, xi []float64) ([]float64, error) {
-	inner := ctx.p.inner
-	if err := inner.space.CheckVector(xi); err != nil {
-		return nil, err
-	}
-	ctx.setCards(xi)
-	op, err := ctx.eng.DCOperatingPoint()
-	if err != nil {
-		return nil, fmt.Errorf("folded-cascode-tran: %w", err)
-	}
-	ac, err := ctx.eng.AC(op, ctx.freqs)
-	if err != nil {
-		return nil, fmt.Errorf("folded-cascode-tran: %w", err)
-	}
+// tranMeasures reduces one sample's solved operating point and AC sweep to
+// the performance vector, running the transient integration on the way. It
+// must be called with the sample's cards installed — the integrator
+// re-stamps the devices every step.
+func (p *FoldedCascodeTran) tranMeasures(ctx *fcSpiceContext, op *spice.OPResult, ac *spice.ACResult) ([]float64, error) {
 	h, err := ac.VNode(ctx.ckt, "out")
 	if err != nil {
 		return nil, err
@@ -370,6 +451,24 @@ func (p *FoldedCascodeTran) evalTran(ctx *fcSpiceContext, xi []float64) ([]float
 	return []float64{a0dB, gbw, pm, slew, ts, os}, nil
 }
 
+// evalTran runs one sample: rewrite the cards, cold-solve DC, sweep AC and
+// integrate the step response.
+func (p *FoldedCascodeTran) evalTran(ctx *fcSpiceContext, xi []float64) ([]float64, error) {
+	if err := ctx.p.inner.space.CheckVector(xi); err != nil {
+		return nil, err
+	}
+	ctx.setCards(xi)
+	op, err := ctx.eng.DCOperatingPoint()
+	if err != nil {
+		return nil, fmt.Errorf("folded-cascode-tran: %w", err)
+	}
+	ac, err := ctx.eng.AC(op, ctx.freqs)
+	if err != nil {
+		return nil, fmt.Errorf("folded-cascode-tran: %w", err)
+	}
+	return p.tranMeasures(ctx, op, ac)
+}
+
 // Evaluate implements problem.Problem — bit-identical to any batch path by
 // the cold-start contract.
 func (p *FoldedCascodeTran) Evaluate(x, xi []float64) ([]float64, error) {
@@ -382,7 +481,11 @@ func (p *FoldedCascodeTran) Evaluate(x, xi []float64) ([]float64, error) {
 
 // EvaluateBatch implements problem.BatchEvaluator: one compiled context
 // (netlist, engine, symbolic factorization) per design, every sample
-// cold-started.
+// cold-started. The cold DC solves and AC sweeps of K samples run through
+// the lockstep kernel (bit-identical to the scalar solves by the lane
+// contract); the adaptive transient integration runs scalar per lane under
+// that lane's cards — the step drive is armed once at compile, so the cards
+// are the whole lane state.
 func (p *FoldedCascodeTran) EvaluateBatch(x []float64, xis [][]float64) ([][]float64, []error) {
 	perfs := make([][]float64, len(xis))
 	errs := make([]error, len(xis))
@@ -393,8 +496,57 @@ func (p *FoldedCascodeTran) EvaluateBatch(x []float64, xis [][]float64) ([][]flo
 		}
 		return perfs, errs
 	}
-	for i, xi := range xis {
-		perfs[i], errs[i] = p.evalTran(ctx, xi)
+	k := ctx.eng.Lanes()
+	if k <= 1 {
+		for i, xi := range xis {
+			perfs[i], errs[i] = p.evalTran(ctx, xi)
+		}
+		return perfs, errs
+	}
+	nc := len(ctx.cards)
+	lanes := make([][]mos.Params, k)
+	for l := range lanes {
+		lanes[l] = make([]mos.Params, nc)
+	}
+	active := make([]bool, k)
+	set := func(l int) {
+		for i := 0; i < nc; i++ {
+			*ctx.cards[i].card = lanes[l][i]
+		}
+	}
+	for g := 0; g < len(xis); g += k {
+		m := min(k, len(xis)-g)
+		for l := 0; l < k; l++ {
+			active[l] = false
+		}
+		for l := 0; l < m; l++ {
+			xi := xis[g+l]
+			if err := ctx.p.inner.space.CheckVector(xi); err != nil {
+				errs[g+l] = err
+				continue
+			}
+			ctx.setCards(xi)
+			for i := 0; i < nc; i++ {
+				lanes[l][i] = *ctx.cards[i].card
+			}
+			active[l] = true
+		}
+		ops, dcErrs := ctx.eng.DCOperatingPointBatch(active, set)
+		acs, acErrs := ctx.eng.ACBatch(ops, ctx.freqs, set)
+		for l := 0; l < m; l++ {
+			if !active[l] {
+				continue
+			}
+			switch {
+			case dcErrs[l] != nil:
+				errs[g+l] = fmt.Errorf("folded-cascode-tran: %w", dcErrs[l])
+			case acErrs[l] != nil:
+				errs[g+l] = fmt.Errorf("folded-cascode-tran: %w", acErrs[l])
+			default:
+				set(l)
+				perfs[g+l], errs[g+l] = p.tranMeasures(ctx, ops[l], acs[l])
+			}
+		}
 	}
 	return perfs, errs
 }

@@ -1,0 +1,241 @@
+package sparse
+
+import (
+	"fmt"
+)
+
+// BatchMatrix holds K independent value lanes over one shared Symbolic
+// pattern in structure-of-arrays layout: the K lane values of pattern entry t
+// sit contiguously at vals[t*K : (t+1)*K]. One traversal of the index arrays
+// (the part of Factorize that is branches, loads of cols/rowPtr/diag and
+// cache misses on the pattern) then drives K numeric eliminations at once —
+// the lockstep refactorization that amortizes the per-sample cost of
+// Monte-Carlo sweeps sharing one topology.
+//
+// Lane determinism contract: lane l of a BatchMatrix performs exactly the
+// floating-point operations, in exactly the order, of a scalar Matrix
+// factorization/solve of the same values. Lanes never mix arithmetically —
+// the only cross-lane coupling is control flow, and the kernel is written so
+// the per-lane operation sequence is independent of the other lanes' values
+// (see the zero-multiplier guard in Factorize). A lane of a lockstep batch
+// is therefore bit-identical to a scalar solve of that sample.
+type BatchMatrix[T Scalar] struct {
+	sym  *Symbolic
+	k    int
+	vals []T // (NNZ()+1)*k; entry t's lanes at [t*k : (t+1)*k]
+	w    []T // dense scatter rows, n*k
+	inv  []T // pivot reciprocals, n*k
+	pb   []T // permuted right-hand sides, n*k
+	errs []error
+	ok   bool
+
+	// zpe caches the per-row zero-pivot error values. Inside the lockstep
+	// drivers a retired lane (converged, failed, or a partial group's tail)
+	// keeps its zeroed values in the batch, so its factorization "fails" at
+	// the first pivot on every remaining iteration and frequency point; the
+	// cache keeps that bookkeeping allocation- and formatting-free.
+	zpe []error
+}
+
+// NewBatchMatrix returns a zero K-lane matrix over the analyzed pattern.
+func NewBatchMatrix[T Scalar](s *Symbolic, k int) *BatchMatrix[T] {
+	if k < 1 {
+		panic(fmt.Sprintf("sparse: invalid lane count %d", k))
+	}
+	return &BatchMatrix[T]{
+		sym:  s,
+		k:    k,
+		vals: make([]T, (s.NNZ()+1)*k),
+		w:    make([]T, s.n*k),
+		inv:  make([]T, s.n*k),
+		pb:   make([]T, s.n*k),
+		errs: make([]error, k),
+	}
+}
+
+// zeroPivotErr returns the cached zero-pivot error of permuted row i.
+func (m *BatchMatrix[T]) zeroPivotErr(i int) error {
+	if m.zpe == nil {
+		m.zpe = make([]error, m.sym.n)
+	}
+	if m.zpe[i] == nil {
+		m.zpe[i] = fmt.Errorf("%w: zero pivot at permuted row %d", ErrSingular, i)
+	}
+	return m.zpe[i]
+}
+
+// Symbolic returns the shared pattern.
+func (m *BatchMatrix[T]) Symbolic() *Symbolic { return m.sym }
+
+// Lanes returns K, the number of value lanes.
+func (m *BatchMatrix[T]) Lanes() int { return m.k }
+
+// Values exposes the SoA value array for direct stamping: entry t of the
+// pattern, lane l, lives at Values()[t*Lanes()+l]. The last Lanes() elements
+// are the per-lane write-off slots.
+func (m *BatchMatrix[T]) Values() []T { return m.vals }
+
+// Zero clears all lanes' values, keeping the allocations.
+func (m *BatchMatrix[T]) Zero() {
+	for i := range m.vals {
+		m.vals[i] = 0
+	}
+	m.ok = false
+}
+
+// Factorize runs the numeric elimination of all K lanes in lockstep inside
+// the precomputed fill pattern and returns the per-lane outcome: errs[l] is
+// nil when lane l factored, or wraps ErrSingular when its pivot sequence
+// broke down. A failed lane never poisons the others — each lane's
+// arithmetic is fully independent — and its factors are simply unusable
+// (Solve reports the same per-lane error). The returned slice is reused by
+// the next Factorize call.
+func (m *BatchMatrix[T]) Factorize() []error {
+	if m.k == kernelWidth {
+		// The auto-resolved width takes the constant-width kernel (same
+		// per-lane operation sequence, compile-time lane bound).
+		m.factorize8()
+		return m.errs
+	}
+	s, k := m.sym, m.k
+	vals, w, inv, cols := m.vals, m.w, m.inv, s.cols
+	for l := 0; l < k; l++ {
+		m.errs[l] = nil
+	}
+	for i := 0; i < s.n; i++ {
+		start, end, dp := s.rowPtr[i], s.rowPtr[i+1], s.diag[i]
+		for t := start; t < end; t++ {
+			copy(w[cols[t]*k:cols[t]*k+k], vals[t*k:t*k+k])
+		}
+		for t := start; t < dp; t++ {
+			c := cols[t]
+			wk := w[c*k : c*k+k : c*k+k]
+			ik := inv[c*k : c*k+k : c*k+k]
+			// Per-lane multiplier; the scalar kernel skips the update row
+			// when the multiplier is exactly zero, and so must every lane
+			// here (bit-identity: w -= 0*v can still flip the sign of a
+			// negative zero). When no lane needs the skip — the common case
+			// once the ladder leaves degenerate stampings behind — the
+			// unguarded block below keeps the inner loop branch-free.
+			allNZ := true
+			for l := 0; l < k; l++ {
+				wk[l] *= ik[l]
+				if wk[l] == 0 {
+					allNZ = false
+				}
+			}
+			if allNZ {
+				for u := s.diag[c] + 1; u < s.rowPtr[c+1]; u++ {
+					cu := cols[u]
+					wc := w[cu*k : cu*k+k : cu*k+k]
+					vu := vals[u*k : u*k+k : u*k+k]
+					for l := 0; l < k; l++ {
+						wc[l] -= wk[l] * vu[l]
+					}
+				}
+			} else {
+				for u := s.diag[c] + 1; u < s.rowPtr[c+1]; u++ {
+					cu := cols[u]
+					wc := w[cu*k : cu*k+k : cu*k+k]
+					vu := vals[u*k : u*k+k : u*k+k]
+					for l := 0; l < k; l++ {
+						if wk[l] != 0 {
+							wc[l] -= wk[l] * vu[l]
+						}
+					}
+				}
+			}
+		}
+		for t := start; t < end; t++ {
+			copy(vals[t*k:t*k+k], w[cols[t]*k:cols[t]*k+k])
+		}
+		for l := 0; l < k; l++ {
+			if m.errs[l] != nil {
+				// Lane already broke down at an earlier row; keep its
+				// reciprocals zero so its multipliers vanish from the
+				// remaining elimination.
+				inv[i*k+l] = 0
+				continue
+			}
+			d := vals[dp*k+l]
+			if badPivot(d) {
+				m.errs[l] = m.zeroPivotErr(i)
+				inv[i*k+l] = 0
+				continue
+			}
+			r := T(1) / d
+			if infValue(r) {
+				m.errs[l] = fmt.Errorf("%w: subnormal pivot at permuted row %d", ErrSingular, i)
+				inv[i*k+l] = 0
+				continue
+			}
+			inv[i*k+l] = r
+		}
+	}
+	m.ok = true
+	return m.errs
+}
+
+// Solve overwrites the K right-hand sides in b (SoA layout: component i of
+// lane l at b[i*Lanes()+l], original index order) with the per-lane
+// solutions, in lockstep. The returned per-lane errors mirror the last
+// Factorize: a lane that failed to factor reports its factorization error
+// and its slots in b are unspecified. The slice is shared with Factorize.
+func (m *BatchMatrix[T]) Solve(b []T) []error {
+	s, k := m.sym, m.k
+	n := s.n
+	if !m.ok {
+		for l := 0; l < k; l++ {
+			m.errs[l] = errNotFactored
+		}
+		return m.errs
+	}
+	if len(b) < n*k {
+		panic(fmt.Sprintf("sparse: batch rhs length %d < %d", len(b), n*k))
+	}
+	if k == kernelWidth {
+		m.solve8(b)
+		return m.errs
+	}
+	vals, cols, pb, inv := m.vals, s.cols, m.pb, m.inv
+	for i := 0; i < n; i++ {
+		copy(pb[i*k:i*k+k], b[s.rowInv[i]*k:s.rowInv[i]*k+k])
+	}
+	for i := 1; i < n; i++ {
+		pi := pb[i*k : i*k+k : i*k+k]
+		for t := s.rowPtr[i]; t < s.diag[i]; t++ {
+			c := cols[t]
+			vt := vals[t*k : t*k+k : t*k+k]
+			pc := pb[c*k : c*k+k : c*k+k]
+			for l := 0; l < k; l++ {
+				pi[l] -= vt[l] * pc[l]
+			}
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		pi := pb[i*k : i*k+k : i*k+k]
+		for t := s.diag[i] + 1; t < s.rowPtr[i+1]; t++ {
+			c := cols[t]
+			vt := vals[t*k : t*k+k : t*k+k]
+			pc := pb[c*k : c*k+k : c*k+k]
+			for l := 0; l < k; l++ {
+				pi[l] -= vt[l] * pc[l]
+			}
+		}
+		ri := inv[i*k : i*k+k : i*k+k]
+		for l := 0; l < k; l++ {
+			pi[l] *= ri[l]
+		}
+	}
+	for c := 0; c < n; c++ {
+		copy(b[c*k:c*k+k], pb[s.colPerm[c]*k:s.colPerm[c]*k+k])
+	}
+	return m.errs
+}
+
+// FactorSolve factors all lanes and solves the SoA right-hand sides in b —
+// the per-Newton-iteration primitive of the lockstep path.
+func (m *BatchMatrix[T]) FactorSolve(b []T) []error {
+	m.Factorize()
+	return m.Solve(b)
+}

@@ -1,0 +1,124 @@
+package sparse
+
+import "fmt"
+
+// Constant-width specialization of the lockstep kernel at the auto-resolved
+// lane count. The generic Factorize/Solve bodies index every lane group with
+// the runtime lane count k, which costs the compiler a bounds check per lane
+// access and a memmove call per scatter/gather row. With the width fixed at
+// compile time the same loops run over *[8]T array views: bounds checks
+// vanish, the lane loops unroll, and the row copies become inline block
+// moves. The per-lane floating-point sequence is untouched — these are the
+// exact generic loops with k constant — so the lane determinism contract
+// (lane l performs exactly the scalar kernel's operation sequence) holds bit
+// for bit.
+
+const kernelWidth = 8
+
+func (m *BatchMatrix[T]) factorize8() {
+	const k = kernelWidth
+	s := m.sym
+	vals, w, inv, cols := m.vals, m.w, m.inv, s.cols
+	for l := 0; l < k; l++ {
+		m.errs[l] = nil
+	}
+	for i := 0; i < s.n; i++ {
+		start, end, dp := s.rowPtr[i], s.rowPtr[i+1], s.diag[i]
+		for t := start; t < end; t++ {
+			*(*[k]T)(w[cols[t]*k:]) = *(*[k]T)(vals[t*k:])
+		}
+		for t := start; t < dp; t++ {
+			c := cols[t]
+			wk := (*[k]T)(w[c*k:])
+			ik := (*[k]T)(inv[c*k:])
+			// Per-lane multiplier with the generic kernel's zero-skip guard
+			// (w -= 0*v can flip the sign of a negative zero).
+			allNZ := true
+			for l := 0; l < k; l++ {
+				wk[l] *= ik[l]
+				if wk[l] == 0 {
+					allNZ = false
+				}
+			}
+			if allNZ {
+				for u := s.diag[c] + 1; u < s.rowPtr[c+1]; u++ {
+					wc := (*[k]T)(w[cols[u]*k:])
+					vu := (*[k]T)(vals[u*k:])
+					for l := 0; l < k; l++ {
+						wc[l] -= wk[l] * vu[l]
+					}
+				}
+			} else {
+				for u := s.diag[c] + 1; u < s.rowPtr[c+1]; u++ {
+					wc := (*[k]T)(w[cols[u]*k:])
+					vu := (*[k]T)(vals[u*k:])
+					for l := 0; l < k; l++ {
+						if wk[l] != 0 {
+							wc[l] -= wk[l] * vu[l]
+						}
+					}
+				}
+			}
+		}
+		for t := start; t < end; t++ {
+			*(*[k]T)(vals[t*k:]) = *(*[k]T)(w[cols[t]*k:])
+		}
+		for l := 0; l < k; l++ {
+			if m.errs[l] != nil {
+				inv[i*k+l] = 0
+				continue
+			}
+			d := vals[dp*k+l]
+			if badPivot(d) {
+				m.errs[l] = m.zeroPivotErr(i)
+				inv[i*k+l] = 0
+				continue
+			}
+			r := T(1) / d
+			if infValue(r) {
+				m.errs[l] = fmt.Errorf("%w: subnormal pivot at permuted row %d", ErrSingular, i)
+				inv[i*k+l] = 0
+				continue
+			}
+			inv[i*k+l] = r
+		}
+	}
+	m.ok = true
+}
+
+func (m *BatchMatrix[T]) solve8(b []T) {
+	const k = kernelWidth
+	s := m.sym
+	n := s.n
+	vals, cols, pb, inv := m.vals, s.cols, m.pb, m.inv
+	for i := 0; i < n; i++ {
+		*(*[k]T)(pb[i*k:]) = *(*[k]T)(b[s.rowInv[i]*k:])
+	}
+	for i := 1; i < n; i++ {
+		pi := (*[k]T)(pb[i*k:])
+		for t := s.rowPtr[i]; t < s.diag[i]; t++ {
+			vt := (*[k]T)(vals[t*k:])
+			pc := (*[k]T)(pb[cols[t]*k:])
+			for l := 0; l < k; l++ {
+				pi[l] -= vt[l] * pc[l]
+			}
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		pi := (*[k]T)(pb[i*k:])
+		for t := s.diag[i] + 1; t < s.rowPtr[i+1]; t++ {
+			vt := (*[k]T)(vals[t*k:])
+			pc := (*[k]T)(pb[cols[t]*k:])
+			for l := 0; l < k; l++ {
+				pi[l] -= vt[l] * pc[l]
+			}
+		}
+		ri := (*[k]T)(inv[i*k:])
+		for l := 0; l < k; l++ {
+			pi[l] *= ri[l]
+		}
+	}
+	for c := 0; c < n; c++ {
+		*(*[k]T)(b[c*k:]) = *(*[k]T)(pb[s.colPerm[c]*k:])
+	}
+}

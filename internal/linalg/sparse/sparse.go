@@ -25,7 +25,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"math/cmplx"
 	"sort"
 )
 
@@ -492,12 +491,27 @@ func (m *Matrix[T]) FactorSolve(b []T) error {
 	return m.Solve(b)
 }
 
+// badPivot and infValue run once per pivot per factorization — on a small
+// MNA pattern that is a meaningful slice of the whole solve, so they avoid
+// the `any` boxing of a type switch on the type parameter and the
+// math/cmplx calls. The comparisons are semantically identical to the
+// originals (v == 0 || IsNaN for badPivot, IsInf for infValue): x != x is
+// the branch-free NaN test, and cmplx.IsNaN's "no NaN verdict when a part
+// is Inf" rule is preserved by checking Inf first.
 func badPivot[T Scalar](d T) bool {
 	switch v := any(d).(type) {
 	case float64:
-		return v == 0 || math.IsNaN(v)
+		return v == 0 || v != v
 	case complex128:
-		return v == 0 || cmplx.IsNaN(v)
+		re, im := real(v), imag(v)
+		if v == 0 {
+			return true
+		}
+		if re > math.MaxFloat64 || re < -math.MaxFloat64 || im > math.MaxFloat64 || im < -math.MaxFloat64 {
+			// A part is ±Inf: cmplx.IsNaN reports false for such values.
+			return false
+		}
+		return re != re || im != im
 	}
 	return false
 }
@@ -505,9 +519,10 @@ func badPivot[T Scalar](d T) bool {
 func infValue[T Scalar](r T) bool {
 	switch v := any(r).(type) {
 	case float64:
-		return math.IsInf(v, 0)
+		return v > math.MaxFloat64 || v < -math.MaxFloat64
 	case complex128:
-		return cmplx.IsInf(v)
+		re, im := real(v), imag(v)
+		return re > math.MaxFloat64 || re < -math.MaxFloat64 || im > math.MaxFloat64 || im < -math.MaxFloat64
 	}
 	return false
 }

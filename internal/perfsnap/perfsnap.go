@@ -75,7 +75,14 @@ func Cases() []Case {
 			return struct{ problem.Problem }{circuits.NewCommonSourceSpice()}
 		}, csRef, 256)},
 		{"SpiceYieldFoldedCascodeSparse", yieldBench(func() problem.Problem {
+			// Auto lane resolution: at this 19-unknown pattern the sparse
+			// engine runs the 8-lane lockstep kernel.
 			return circuits.NewFoldedCascodeSpice().SetSolver(spice.SolverSparse)
+		}, fcRef, 128)},
+		{"SpiceYieldFoldedCascodeSparseScalar", yieldBench(func() problem.Problem {
+			// Lanes pinned to 1: the PR 3 scalar sparse path, the baseline
+			// the lockstep kernel is measured against.
+			return circuits.NewFoldedCascodeSpice().SetSolver(spice.SolverSparse).SetLanes(1)
 		}, fcRef, 128)},
 		{"SpiceYieldFoldedCascodeDense", yieldBench(func() problem.Problem {
 			return circuits.NewFoldedCascodeSpice().SetSolver(spice.SolverDense)

@@ -53,6 +53,18 @@ type Problem interface {
 // start the point-wise fallback uses, silently breaking the batched-vs-
 // fallback equivalence; only monostable circuits qualify for that
 // optimization.
+//
+// Implementations that solve several samples in lockstep (the sparse
+// engine's multi-lane kernel) face a stricter form of the same rule: how
+// samples are grouped into lanes must be a pure function of the batch —
+// fixed-width groups in sample order — never of worker schedule or timing,
+// and a sample's result must not depend on which lane it lands in or on
+// what its lane-mates are. The engine's lane determinism contract (each
+// lane performs exactly the scalar kernel's operation sequence) plus a
+// per-sample warm-start state that is fixed for the whole batch (the
+// design's nominal operating point, or a cold start) deliver that: every
+// grouping, lane width and worker count then produces the same bits as the
+// point-wise path.
 type BatchEvaluator interface {
 	Problem
 	// EvaluateBatch evaluates design x under every variation vector of the

@@ -129,7 +129,29 @@ type Info struct {
 	DefaultMaxSims    int       `json:"default_max_sims"`
 	DefaultRefSamples int       `json:"default_ref_samples"`
 	HasNetlist        bool      `json:"has_netlist"`
+	HasTran           bool      `json:"has_tran"`
 	ReferenceDesign   []float64 `json:"reference_design,omitempty"`
+}
+
+// TranCapable reports whether p carries a configurable transient stage (the
+// capability the service's tran-window resolution and the CLIs' transient
+// flags target).
+func TranCapable(p problem.Problem) bool {
+	_, ok := p.(interface{ TranWindow() (tstop, step float64, fixed bool) })
+	return ok
+}
+
+// TranCapableNames returns the names of the registered scenarios with a
+// transient stage, sorted — the list the CLIs print when transient flags
+// target a scenario without one.
+func TranCapableNames() []string {
+	var names []string
+	for _, in := range Describe() {
+		if in.HasTran {
+			names = append(names, in.Name)
+		}
+	}
+	return names
 }
 
 // Describe instantiates every registered scenario and returns its Info,
@@ -149,6 +171,7 @@ func Describe() []Info {
 			DefaultMaxSims:    s.DefaultMaxSims,
 			DefaultRefSamples: s.DefaultRefSamples,
 			HasNetlist:        s.Netlist != nil,
+			HasTran:           TranCapable(p),
 		}
 		if ref, ok := ReferenceDesign(p); ok {
 			info.ReferenceDesign = append([]float64(nil), ref...)

@@ -142,6 +142,11 @@ type TranSpec struct {
 	Mode  string  `json:"mode,omitempty"`
 }
 
+// ErrNoTranWindow reports a transient-window override aimed at a scenario
+// without a transient stage. CLIs match it (errors.Is) to turn the server
+// error into a usage error listing the tran-capable scenarios.
+var ErrNoTranWindow = errors.New("has no transient window")
+
 // tranProblem is the capability a time-domain problem exposes for window
 // configuration (implemented by the circuits package's transient
 // scenarios).
@@ -161,7 +166,7 @@ func ResolveTran(p any, scenarioName string, spec *TranSpec) (*TranSpec, error) 
 	tp, ok := p.(tranProblem)
 	if !ok {
 		if spec != nil {
-			return nil, fmt.Errorf("service: scenario %q has no transient window (tran options not applicable)", scenarioName)
+			return nil, fmt.Errorf("service: scenario %q %w (tran options not applicable)", scenarioName, ErrNoTranWindow)
 		}
 		return nil, nil
 	}
@@ -662,10 +667,23 @@ func (s *Server) add(kind, scenarioName, key string, run func(context.Context, *
 		return nil, false, ErrClosed
 	}
 	if j, ok := s.byKey[key]; ok {
-		if j.elem != nil {
-			s.retained.MoveToBack(j.elem)
+		// Coalesce only onto a completed result or a genuinely live job. A
+		// job whose cancellation has been requested but has not yet
+		// finalized still holds its key slot (finalize releases it later);
+		// handing it to a new identical request would resolve that request
+		// with the cancelled — possibly partial — outcome of someone else's
+		// DELETE. Such a job falls through, and the fresh job enqueued
+		// below takes over the key (finalize's ownership check keeps the
+		// old job from deleting the new mapping).
+		j.mu.Lock()
+		done := j.state == StateDone
+		j.mu.Unlock()
+		if done || j.ctx.Err() == nil {
+			if j.elem != nil {
+				s.retained.MoveToBack(j.elem)
+			}
+			return j, true, nil
 		}
-		return j, true, nil
 	}
 	s.seq++
 	ctx, cancel := context.WithCancel(s.baseCtx)

@@ -275,6 +275,67 @@ func TestCancelStopsSims(t *testing.T) {
 	j2.Cancel()
 }
 
+// TestCancelThenResubmitBitIdentity pins the coalescing window between a
+// cancellation request and the job's finalization: during it the cancelled
+// job still owns its key slot, and an identical resubmission used to
+// coalesce onto it — resolving the new request with the cancelled, partial
+// outcome. The resubmission must instead get a fresh job whose result is
+// bit-identical to the local estimator.
+func TestCancelThenResubmitBitIdentity(t *testing.T) {
+	svc, _, counter := newTestServer(t, service.Config{Jobs: 2, Workers: 2})
+	req := service.YieldRequest{Scenario: "svc-slow", N: 20000, Seed: service.Seed(21)}
+
+	j, cached, err := svc.SubmitYield(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Fatal("fresh request reported cached")
+	}
+	waitFor(t, 10*time.Second, func() bool { return counter.Total() > 0 }, "job never started simulating")
+
+	// Cancel and resubmit immediately: the first job is mid-chunk (each
+	// 2048-sample chunk spins ~200ms), so it has not finalized and still
+	// holds the key.
+	j.Cancel()
+	j2, cached, err := svc.SubmitYield(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached || j2.ID == j.ID {
+		t.Fatalf("resubmission coalesced onto the cancelled job (cached=%v, id %s vs %s)", cached, j2.ID, j.ID)
+	}
+
+	waitFor(t, 30*time.Second, func() bool { return j.Status().State == service.StateCancelled },
+		"cancelled job never finalized")
+	waitFor(t, 30*time.Second, func() bool { return j2.Status().State == service.StateDone },
+		"resubmitted job never completed")
+
+	st := j2.Status()
+	if st.Yield == nil {
+		t.Fatal("resubmitted job carries no yield result")
+	}
+	p := scenario.MustGet("svc-slow").New()
+	x, _ := scenario.ReferenceDesign(p)
+	want, _, err := yieldsim.ReferenceCtx(nil, p, x, 20000, 21, yieldsim.RefOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Yield.Yield != want {
+		t.Errorf("resubmitted yield %v, local %v (stale/partial result served)", st.Yield.Yield, want)
+	}
+
+	// A third identical request now coalesces onto the completed job — the
+	// cache serves the done result, never the cancelled one.
+	j3, cached, err := svc.SubmitYield(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached || j3.ID != j2.ID {
+		t.Errorf("completed resubmission not served from cache (cached=%v, id %s vs %s)", cached, j3.ID, j2.ID)
+	}
+}
+
 // TestSSEEvents checks the progress stream: an immediate status event,
 // at least one progress frame while running, and a final done event.
 func TestSSEEvents(t *testing.T) {

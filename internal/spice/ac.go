@@ -92,7 +92,7 @@ func (e *Engine) AC(op *OPResult, freqs []float64) (*ACResult, error) {
 	for i := range rhs0 {
 		rhs0[i] = 0
 	}
-	e.plan.stampAC(gv, cv, rhs0, op, e.opts.GminFinal)
+	e.plan.stampAC(gv, cv, rhs0, 1, 0, op, e.opts.GminFinal)
 
 	// One flat backing array for the whole sweep instead of one slice per
 	// frequency point.

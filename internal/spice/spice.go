@@ -38,6 +38,12 @@ type Options struct {
 	// reuse). The zero value SolverAuto sizes the choice automatically and
 	// honours the MOHECO_SOLVER environment override.
 	Solver SolverKind
+	// Lanes selects the lockstep lane count of the batch DC/AC paths: how
+	// many Monte-Carlo samples refactorize and solve per index traversal.
+	// The zero value resolves automatically — MOHECO_LANES override first,
+	// then a choice by pattern size — and 1 disables lockstep batching.
+	// Dense engines always run one lane. See resolveLanes.
+	Lanes int
 	// Nodeset seeds the DC solve with initial node voltages (by node name),
 	// the classic .nodeset escape hatch for circuits with high-gain
 	// feedback loops.
@@ -92,6 +98,11 @@ type Engine struct {
 	// the Newton Jacobian over it. nil on the dense path.
 	sym *sparse.Symbolic
 	spA *sparse.Matrix[float64]
+
+	// lanes is the resolved lockstep lane count (1 = scalar only); batch is
+	// the lazily allocated lockstep scratch of the batch DC/AC paths.
+	lanes int
+	batch *batchScratch
 
 	// Newton scratch, sized once in New: Jacobian (dense path; its Data
 	// carries one extra write-off element), residual with a trailing
@@ -162,6 +173,7 @@ func New(ckt *netlist.Circuit, opts Options) (*Engine, error) {
 	e.scrF = make([]float64, e.size+1)
 	e.scrDX = make([]float64, e.size)
 	e.scrV = make([]float64, ckt.NumNodes())
+	e.lanes = resolveLanes(e.opts.Lanes, e.size, e.sym != nil)
 	return e, nil
 }
 
@@ -242,28 +254,7 @@ func (e *Engine) DCOperatingPointFrom(prev *OPResult) (*OPResult, error) {
 // optional nodeset, gmin stepping, then source stepping — leaving the
 // solution in x and returning the Newton iterations spent.
 func (e *Engine) solveDCCold(x []float64) (int, error) {
-	seed := func() {
-		for i := range x {
-			x[i] = 0
-		}
-		// Ground-referenced voltage sources pin their node trivially;
-		// seeding them makes cold starts and nodesets effective.
-		for _, d := range e.ckt.Devices {
-			if v, ok := d.(*netlist.VSource); ok {
-				switch {
-				case v.NN == netlist.Ground && v.NP != netlist.Ground:
-					x[row(v.NP)] = v.DC
-				case v.NP == netlist.Ground && v.NN != netlist.Ground:
-					x[row(v.NN)] = -v.DC
-				}
-			}
-		}
-		for name, v := range e.opts.Nodeset {
-			if n, ok := e.ckt.FindNode(name); ok && n != netlist.Ground {
-				x[row(n)] = v
-			}
-		}
-	}
+	seed := func() { e.seedDC(x) }
 	seed()
 	iters := 0
 
@@ -314,6 +305,31 @@ func (e *Engine) solveDCCold(x []float64) (int, error) {
 		}
 	}
 	return iters, err
+}
+
+// seedDC writes the cold-start initial iterate: zeros, ground-referenced
+// voltage sources pinning their node trivially (which makes cold starts and
+// nodesets effective), then the nodeset. Shared by the scalar cold solve and
+// the per-lane seeding of the lockstep batch path.
+func (e *Engine) seedDC(x []float64) {
+	for i := range x {
+		x[i] = 0
+	}
+	for _, d := range e.ckt.Devices {
+		if v, ok := d.(*netlist.VSource); ok {
+			switch {
+			case v.NN == netlist.Ground && v.NP != netlist.Ground:
+				x[row(v.NP)] = v.DC
+			case v.NP == netlist.Ground && v.NN != netlist.Ground:
+				x[row(v.NN)] = -v.DC
+			}
+		}
+	}
+	for name, v := range e.opts.Nodeset {
+		if n, ok := e.ckt.FindNode(name); ok && n != netlist.Ground {
+			x[row(n)] = v
+		}
+	}
 }
 
 // opResult packages a converged solution vector into an OPResult.
@@ -375,7 +391,7 @@ func (e *Engine) newton(x []float64, ctx stampCtx) (int, error) {
 		for i := range F {
 			F[i] = 0
 		}
-		e.plan.stampDC(vals, F, x, e.scrV, ctx)
+		e.plan.stampDC(vals, F, 1, 0, x, e.scrV, ctx)
 
 		// Solve J·dx = -F (in place: the stamped values become the LU
 		// factors, dx starts as the negated residual and ends as the step).

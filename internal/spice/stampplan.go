@@ -232,7 +232,14 @@ func (e *Engine) buildPlan(index func(r, c int) int) *stampPlan {
 // under ctx. vals and F must be zeroed by the caller; both carry a trailing
 // write-off slot. scrV is the node-voltage view consumed by the device
 // models (filled here, once per assembly).
-func (p *stampPlan) stampDC(vals, F, x, scrV []float64, ctx stampCtx) {
+//
+// k and lane address structure-of-arrays lockstep storage: every cached
+// index is scaled as idx·k+lane, so the same stamper fills a scalar value
+// array (k=1, lane=0) or one lane of a K-wide batch. The floating-point
+// sequence is identical either way — the lane plumbing touches only
+// addressing — which is what makes a lockstep lane bit-identical to a scalar
+// solve.
+func (p *stampPlan) stampDC(vals, F []float64, k, lane int, x, scrV []float64, ctx stampCtx) {
 	v := func(node int) float64 {
 		if node == netlist.Ground {
 			return 0
@@ -240,19 +247,19 @@ func (p *stampPlan) stampDC(vals, F, x, scrV []float64, ctx stampCtx) {
 		return x[node-1]
 	}
 	for i, idx := range p.gmin {
-		vals[idx] += ctx.gmin
-		F[i] += ctx.gmin * x[i]
+		vals[idx*k+lane] += ctx.gmin
+		F[i*k+lane] += ctx.gmin * x[i]
 	}
 	for i := range p.res {
 		s := &p.res[i]
 		g := 1 / s.dev.R
 		dv := v(s.n1) - v(s.n2)
-		F[s.f1] += g * dv
-		F[s.f2] -= g * dv
-		vals[s.ii] += g
-		vals[s.jj] += g
-		vals[s.ij] -= g
-		vals[s.ji] -= g
+		F[s.f1*k+lane] += g * dv
+		F[s.f2*k+lane] -= g * dv
+		vals[s.ii*k+lane] += g
+		vals[s.jj*k+lane] += g
+		vals[s.ij*k+lane] -= g
+		vals[s.ji*k+lane] -= g
 	}
 	if ctx.h > 0 {
 		// Companion models; capacitors are open in DC. Backward Euler uses
@@ -270,56 +277,56 @@ func (p *stampPlan) stampDC(vals, F, x, scrV []float64, ctx stampCtx) {
 				g *= 2
 				ic = 2*ic - ctx.icPrev[i]
 			}
-			F[s.f1] += ic
-			F[s.f2] -= ic
-			vals[s.ii] += g
-			vals[s.jj] += g
-			vals[s.ij] -= g
-			vals[s.ji] -= g
+			F[s.f1*k+lane] += ic
+			F[s.f2*k+lane] -= ic
+			vals[s.ii*k+lane] += g
+			vals[s.jj*k+lane] += g
+			vals[s.ij*k+lane] -= g
+			vals[s.ji*k+lane] -= g
 		}
 	}
 	for i := range p.isrc {
 		s := &p.isrc[i]
 		val := ctx.srcScale * s.dev.SourceValue(ctx.time)
-		F[s.f1] += val
-		F[s.f2] -= val
+		F[s.f1*k+lane] += val
+		F[s.f2*k+lane] -= val
 	}
 	for i := range p.vccs {
 		s := &p.vccs[i]
 		gm := s.dev.Gm
 		vc := v(s.dev.NCP) - v(s.dev.NCN)
-		F[s.f1] += gm * vc
-		F[s.f2] -= gm * vc
-		vals[s.pcp] += gm
-		vals[s.pcn] -= gm
-		vals[s.ncp] -= gm
-		vals[s.ncn] += gm
+		F[s.f1*k+lane] += gm * vc
+		F[s.f2*k+lane] -= gm * vc
+		vals[s.pcp*k+lane] += gm
+		vals[s.pcn*k+lane] -= gm
+		vals[s.ncp*k+lane] -= gm
+		vals[s.ncn*k+lane] += gm
 	}
 	for i := range p.vsrc {
 		s := &p.vsrc[i]
 		ib := x[s.bi]
-		F[s.fp] += ib
-		F[s.fn] -= ib
-		vals[s.npb] += 1
-		vals[s.nnb] -= 1
+		F[s.fp*k+lane] += ib
+		F[s.fn*k+lane] -= ib
+		vals[s.npb*k+lane] += 1
+		vals[s.nnb*k+lane] -= 1
 		// Branch equation: v(NP) - v(NN) - V = 0.
-		F[s.bi] += v(s.dev.NP) - v(s.dev.NN) - ctx.srcScale*s.dev.SourceValue(ctx.time)
-		vals[s.bnp] += 1
-		vals[s.bnn] -= 1
+		F[s.bi*k+lane] += v(s.dev.NP) - v(s.dev.NN) - ctx.srcScale*s.dev.SourceValue(ctx.time)
+		vals[s.bnp*k+lane] += 1
+		vals[s.bnn*k+lane] -= 1
 	}
 	for i := range p.vcvs {
 		s := &p.vcvs[i]
 		ib := x[s.bi]
-		F[s.fp] += ib
-		F[s.fn] -= ib
-		vals[s.npb] += 1
-		vals[s.nnb] -= 1
+		F[s.fp*k+lane] += ib
+		F[s.fn*k+lane] -= ib
+		vals[s.npb*k+lane] += 1
+		vals[s.nnb*k+lane] -= 1
 		// v(NP) - v(NN) - gain·(v(NCP)-v(NCN)) = 0.
-		F[s.bi] += v(s.dev.NP) - v(s.dev.NN) - s.dev.Gain*(v(s.dev.NCP)-v(s.dev.NCN))
-		vals[s.bnp] += 1
-		vals[s.bnn] -= 1
-		vals[s.bcp] -= s.dev.Gain
-		vals[s.bcn] += s.dev.Gain
+		F[s.bi*k+lane] += v(s.dev.NP) - v(s.dev.NN) - s.dev.Gain*(v(s.dev.NCP)-v(s.dev.NCN))
+		vals[s.bnp*k+lane] += 1
+		vals[s.bnn*k+lane] -= 1
+		vals[s.bcp*k+lane] -= s.dev.Gain
+		vals[s.bcn*k+lane] += s.dev.Gain
 	}
 	if len(p.mos) == 0 {
 		return
@@ -338,28 +345,28 @@ func (p *stampPlan) stampDC(vals, F, x, scrV []float64, ctx stampCtx) {
 		gsum := op.Gm + op.Gds + op.Gmb
 		if !ms.dev.Dev.Params.PMOS {
 			// NMOS: ID flows d → s; leaves node d. ∂ID/∂(vg,vd,vb,vs).
-			F[ms.fr[di]] += op.ID
-			F[ms.fr[si]] -= op.ID
-			vals[ms.blk[di][tG]] += op.Gm
-			vals[ms.blk[di][di]] += op.Gds
-			vals[ms.blk[di][tB]] += op.Gmb
-			vals[ms.blk[di][si]] -= gsum
-			vals[ms.blk[si][tG]] -= op.Gm
-			vals[ms.blk[si][di]] -= op.Gds
-			vals[ms.blk[si][tB]] -= op.Gmb
-			vals[ms.blk[si][si]] += gsum
+			F[ms.fr[di]*k+lane] += op.ID
+			F[ms.fr[si]*k+lane] -= op.ID
+			vals[ms.blk[di][tG]*k+lane] += op.Gm
+			vals[ms.blk[di][di]*k+lane] += op.Gds
+			vals[ms.blk[di][tB]*k+lane] += op.Gmb
+			vals[ms.blk[di][si]*k+lane] -= gsum
+			vals[ms.blk[si][tG]*k+lane] -= op.Gm
+			vals[ms.blk[si][di]*k+lane] -= op.Gds
+			vals[ms.blk[si][tB]*k+lane] -= op.Gmb
+			vals[ms.blk[si][si]*k+lane] += gsum
 		} else {
 			// PMOS: ID flows s → d; ID = f(vsg, vsd, vsb).
-			F[ms.fr[si]] += op.ID
-			F[ms.fr[di]] -= op.ID
-			vals[ms.blk[si][si]] += gsum
-			vals[ms.blk[si][tG]] -= op.Gm
-			vals[ms.blk[si][di]] -= op.Gds
-			vals[ms.blk[si][tB]] -= op.Gmb
-			vals[ms.blk[di][si]] -= gsum
-			vals[ms.blk[di][tG]] += op.Gm
-			vals[ms.blk[di][di]] += op.Gds
-			vals[ms.blk[di][tB]] += op.Gmb
+			F[ms.fr[si]*k+lane] += op.ID
+			F[ms.fr[di]*k+lane] -= op.ID
+			vals[ms.blk[si][si]*k+lane] += gsum
+			vals[ms.blk[si][tG]*k+lane] -= op.Gm
+			vals[ms.blk[si][di]*k+lane] -= op.Gds
+			vals[ms.blk[si][tB]*k+lane] -= op.Gmb
+			vals[ms.blk[di][si]*k+lane] -= gsum
+			vals[ms.blk[di][tG]*k+lane] += op.Gm
+			vals[ms.blk[di][di]*k+lane] += op.Gds
+			vals[ms.blk[di][tB]*k+lane] += op.Gmb
 		}
 	}
 }
@@ -367,59 +374,61 @@ func (p *stampPlan) stampDC(vals, F, x, scrV []float64, ctx stampCtx) {
 // stampAC fills the frequency-independent split of the small-signal system
 // through the same cached indices: conductances and source couplings into
 // gv, capacitances into cv (the ω factor is applied at assembly), and the AC
-// drive into rhs. All three carry a trailing write-off slot.
-func (p *stampPlan) stampAC(gv, cv []float64, rhs []complex128, op *OPResult, gmin float64) {
+// drive into rhs. All three carry a trailing write-off slot. As in stampDC,
+// k and lane scale every cached index for SoA lockstep storage; the scalar
+// path passes (1, 0).
+func (p *stampPlan) stampAC(gv, cv []float64, rhs []complex128, k, lane int, op *OPResult, gmin float64) {
 	for _, idx := range p.gmin {
-		gv[idx] += gmin // keeps floating nodes solvable
+		gv[idx*k+lane] += gmin // keeps floating nodes solvable
 	}
 	for i := range p.res {
 		s := &p.res[i]
 		g := 1 / s.dev.R
-		gv[s.ii] += g
-		gv[s.jj] += g
-		gv[s.ij] -= g
-		gv[s.ji] -= g
+		gv[s.ii*k+lane] += g
+		gv[s.jj*k+lane] += g
+		gv[s.ij*k+lane] -= g
+		gv[s.ji*k+lane] -= g
 	}
 	for i := range p.caps {
 		s := &p.caps[i]
 		c := s.dev.C
-		cv[s.ii] += c
-		cv[s.jj] += c
-		cv[s.ij] -= c
-		cv[s.ji] -= c
+		cv[s.ii*k+lane] += c
+		cv[s.jj*k+lane] += c
+		cv[s.ij*k+lane] -= c
+		cv[s.ji*k+lane] -= c
 	}
 	for i := range p.isrc {
 		s := &p.isrc[i]
 		if s.dev.ACMag != 0 {
 			// AC current NP → NN through the source.
-			rhs[s.f1] -= complex(s.dev.ACMag, 0)
-			rhs[s.f2] += complex(s.dev.ACMag, 0)
+			rhs[s.f1*k+lane] -= complex(s.dev.ACMag, 0)
+			rhs[s.f2*k+lane] += complex(s.dev.ACMag, 0)
 		}
 	}
 	for i := range p.vccs {
 		s := &p.vccs[i]
 		gm := s.dev.Gm
-		gv[s.pcp] += gm
-		gv[s.pcn] -= gm
-		gv[s.ncp] -= gm
-		gv[s.ncn] += gm
+		gv[s.pcp*k+lane] += gm
+		gv[s.pcn*k+lane] -= gm
+		gv[s.ncp*k+lane] -= gm
+		gv[s.ncn*k+lane] += gm
 	}
 	for i := range p.vsrc {
 		s := &p.vsrc[i]
-		gv[s.npb] += 1
-		gv[s.nnb] -= 1
-		gv[s.bnp] += 1
-		gv[s.bnn] -= 1
-		rhs[s.bi] = complex(s.dev.ACMag, 0)
+		gv[s.npb*k+lane] += 1
+		gv[s.nnb*k+lane] -= 1
+		gv[s.bnp*k+lane] += 1
+		gv[s.bnn*k+lane] -= 1
+		rhs[s.bi*k+lane] = complex(s.dev.ACMag, 0)
 	}
 	for i := range p.vcvs {
 		s := &p.vcvs[i]
-		gv[s.npb] += 1
-		gv[s.nnb] -= 1
-		gv[s.bnp] += 1
-		gv[s.bnn] -= 1
-		gv[s.bcp] -= s.dev.Gain
-		gv[s.bcn] += s.dev.Gain
+		gv[s.npb*k+lane] += 1
+		gv[s.nnb*k+lane] -= 1
+		gv[s.bnp*k+lane] += 1
+		gv[s.bnn*k+lane] -= 1
+		gv[s.bcp*k+lane] -= s.dev.Gain
+		gv[s.bcn*k+lane] += s.dev.Gain
 	}
 	for i := range p.mos {
 		ms := &p.mos[i]
@@ -430,7 +439,7 @@ func (p *stampPlan) stampAC(gv, cv []float64, rhs []complex128, op *OPResult, gm
 		if swapped {
 			di, si = tS, tD
 		}
-		addG := func(a, b int, g float64) { gv[ms.blk[a][b]] += g }
+		addG := func(a, b int, g float64) { gv[ms.blk[a][b]*k+lane] += g }
 		cond := func(a, b int, g float64) {
 			addG(a, a, g)
 			addG(b, b, g)
@@ -438,10 +447,10 @@ func (p *stampPlan) stampAC(gv, cv []float64, rhs []complex128, op *OPResult, gm
 			addG(b, a, -g)
 		}
 		capAB := func(a, b int, c float64) {
-			cv[ms.blk[a][a]] += c
-			cv[ms.blk[b][b]] += c
-			cv[ms.blk[a][b]] -= c
-			cv[ms.blk[b][a]] -= c
+			cv[ms.blk[a][a]*k+lane] += c
+			cv[ms.blk[b][b]*k+lane] += c
+			cv[ms.blk[a][b]*k+lane] -= c
+			cv[ms.blk[b][a]*k+lane] -= c
 		}
 		// Transconductances: i_d = gm·vgs + gmb·vbs (identical stamp for
 		// NMOS and PMOS in the circuit frame).

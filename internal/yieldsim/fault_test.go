@@ -1,0 +1,144 @@
+package yieldsim
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	"github.com/eda-go/moheco/internal/problem"
+	"github.com/eda-go/moheco/internal/randx"
+	"github.com/eda-go/moheco/internal/sample"
+	"github.com/eda-go/moheco/internal/stats"
+)
+
+// faultBatch wraps a problem with a batch path that misbehaves on one chosen
+// chunk: it either returns structurally mis-shaped results (failAt with nil
+// cancel) or cancels the given context mid-batch and completes normally
+// (failAt with cancel). Call indices equal chunk indices at Workers=1.
+type faultBatch struct {
+	problem.Problem
+	failAt int
+	cancel context.CancelFunc
+
+	mu    sync.Mutex
+	calls int
+}
+
+func (f *faultBatch) EvaluateBatch(x []float64, xis [][]float64) ([][]float64, []error) {
+	f.mu.Lock()
+	ci := f.calls
+	f.calls++
+	f.mu.Unlock()
+	if ci == f.failAt {
+		if f.cancel != nil {
+			f.cancel()
+		} else {
+			return nil, make([]error, len(xis)) // mis-shaped: no perfs
+		}
+	}
+	perfs := make([][]float64, len(xis))
+	errs := make([]error, len(xis))
+	for i, xi := range xis {
+		perfs[i], errs[i] = f.Problem.Evaluate(x, xi)
+	}
+	return perfs, errs
+}
+
+// checkAccounting asserts the partial-chunk accounting contract: Sims(), the
+// injected Counter and the sample base behind Std() agree on exactly how
+// many real simulations were committed.
+func checkAccounting(t *testing.T, c *Candidate, counter *Counter, wantSims int) {
+	t.Helper()
+	if c.Sims() != wantSims {
+		t.Errorf("Sims() = %d, want %d", c.Sims(), wantSims)
+	}
+	if got := int(counter.Total()); got != c.Sims() {
+		t.Errorf("counter %d vs Sims %d", got, c.Sims())
+	}
+	want := stats.BernoulliStd(int(math.Round(c.Yield()*float64(c.Samples()))), c.Samples())
+	if c.Std() != want {
+		t.Errorf("Std() = %v, want %v from committed samples", c.Std(), want)
+	}
+}
+
+// A structural batch failure mid-run must leave the candidate accounting
+// exactly the chunks that completed: before the fix, Sims() counted every
+// planned simulation of the aborted batch while no pass result was ever
+// accumulated, so Sims(), the Counter and Std() all disagreed.
+func TestAddSamplesStructuralErrorMidBatchAccounting(t *testing.T) {
+	const n, seed = 160, 7
+	sphere := &sphereProblem{radius: 1.5, dim: 2}
+	p := &faultBatch{Problem: sphere, failAt: 2}
+	counter := &Counter{}
+	c := NewCandidate(p, []float64{0.5}, Config{Workers: 1}, counter, seed)
+	if err := c.AddSamples(n); err == nil {
+		t.Fatal("structural batch failure did not surface an error")
+	}
+	// Chunks 0 and 1 completed before chunk 2 failed: 64 committed sims.
+	checkAccounting(t, c, counter, 2*simChunk)
+	if c.Samples() != 2*simChunk {
+		t.Errorf("Samples() = %d, want %d", c.Samples(), 2*simChunk)
+	}
+	// The committed yield must equal the pass rate of exactly the first 64
+	// drawn points — reproduce the candidate's private draw to check.
+	pts := sample.LHS{}.Draw(randx.New(seed), n, sphere.VarDim())
+	pass := 0
+	for _, xi := range pts[:2*simChunk] {
+		perf, err := sphere.Evaluate([]float64{0.5}, xi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if perf[0] >= 0 {
+			pass++
+		}
+	}
+	if want := float64(pass) / float64(2*simChunk); c.Yield() != want {
+		t.Errorf("Yield() = %v, want %v (pass rate of the committed chunks)", c.Yield(), want)
+	}
+}
+
+// Cancelling the context mid-batch commits the chunks that finished (chunks
+// in flight complete) and reports the cancellation, with Sims(), the Counter
+// and Std() in agreement.
+func TestAddSamplesCancelMidChunkAccounting(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sphere := &sphereProblem{radius: 1.5, dim: 2}
+	p := &faultBatch{Problem: sphere, failAt: 1, cancel: cancel}
+	counter := &Counter{}
+	c := NewCandidate(p, []float64{0.5}, Config{Workers: 1, Ctx: ctx}, counter, 11)
+	err := c.AddSamples(160)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Chunk 1 cancels mid-evaluation but still completes; chunks 2+ never
+	// start.
+	checkAccounting(t, c, counter, 2*simChunk)
+}
+
+// The same contract under acceptance sampling: thinned samples ride with the
+// chunk they were thinned against, so after an aborted batch the stratified
+// state covers exactly the committed simulations.
+func TestAddSamplesPartialChunkAccountingWithAS(t *testing.T) {
+	sphere := &sphereProblem{radius: 1.5, dim: 2}
+	p := &faultBatch{Problem: sphere, failAt: 3}
+	counter := &Counter{}
+	c := NewCandidate(p, []float64{0.5}, Config{AcceptanceSampling: true, Workers: 1}, counter, 13)
+	if err := c.AddSamples(400); err == nil {
+		t.Fatal("structural batch failure did not surface an error")
+	}
+	checkAccounting(t, c, counter, 3*simChunk)
+	if c.Samples() < c.Sims() {
+		t.Errorf("Samples() = %d < Sims() = %d", c.Samples(), c.Sims())
+	}
+	// A healthy follow-up batch must keep the books consistent.
+	p.failAt = -1
+	if err := c.AddSamples(100); err != nil {
+		t.Fatal(err)
+	}
+	if got := int(counter.Total()); got != c.Sims() {
+		t.Errorf("after recovery: counter %d vs Sims %d", got, c.Sims())
+	}
+}

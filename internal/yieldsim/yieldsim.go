@@ -152,51 +152,79 @@ type simJob struct {
 
 // AddSamples draws n further Monte-Carlo samples and updates the estimate.
 // The batch proceeds in three phases so that cfg.Workers never changes the
-// result: a sequential phase draws the points and decides — per stratum, in
-// draw order — which samples are simulated; the simulator calls then run as
-// whole fixed-size chunks on the worker pool, each chunk one batch
-// evaluation (problems implementing problem.BatchEvaluator amortize their
-// setup across it; everything else takes the point-wise fallback); a final
-// sequential phase accumulates the pass counts. Per-sample evaluation
-// errors are failure injection — a broken simulation is a failed chip —
-// while structural batch errors (a misbehaving batch implementation) abort
-// and surface. A non-nil error poisons the candidate: sample accounting has
-// advanced past results that were never accumulated, so callers must
-// discard the candidate (every current caller aborts the optimization)
-// rather than retry.
+// result: a sequential plan phase draws the points and decides — per
+// stratum, in draw order, on shadow copies of the stratum state — which
+// samples are simulated; the simulator calls then run as whole fixed-size
+// chunks on the worker pool, each chunk one batch evaluation (problems
+// implementing problem.BatchEvaluator amortize their setup across it;
+// everything else takes the point-wise fallback); a final sequential commit
+// phase folds the results into the candidate. Per-sample evaluation errors
+// are failure injection — a broken simulation is a failed chip — while
+// structural batch errors (a misbehaving batch implementation) abort and
+// surface.
+//
+// Accounting on a non-nil error (a structural batch failure or a cancelled
+// cfg.Ctx) covers exactly the chunks that completed: a sample is committed —
+// to Samples(), Sims(), and the pass counts behind Yield()/Std() — only when
+// the chunk responsible for it finished, and the injected Counter advances
+// chunk by chunk as evaluations complete, so Sims(), the Counter, and Std()
+// agree on how many real simulations happened no matter where the batch
+// stopped. (A structurally failed chunk's results are untrustworthy, so its
+// samples count nowhere.) The candidate's private sample stream has still
+// advanced past the aborted batch, so a retried AddSamples continues with
+// fresh draws rather than reproducing the lost ones; callers that need
+// seed-reproducible estimates must discard the candidate (every current
+// caller aborts the optimization) rather than retry.
 func (c *Candidate) AddSamples(n int) error {
 	if n <= 0 {
 		return nil
 	}
 	pts := c.cfg.Sampler.Draw(c.rng, n, c.prob.VarDim())
+	// Plan phase: thinning decisions read the running stratum state, so they
+	// are made on shadow copies that advance exactly as the commit of a
+	// fully successful batch will; the per-sample plan records the stratum,
+	// the simulate/skip decision, and the chunk whose completion commits the
+	// sample (for a thinned sample, the chunk of the latest planned job —
+	// its accounting rides with the simulations it was thinned against).
+	type planEntry struct {
+		st    *stratum
+		sim   bool // simulated, vs. thinned away
+		thin  bool // drawn in the thinning phase (advances the skip counter)
+		chunk int
+	}
+	shInt, shBor := c.interior, c.border
+	plan := make([]planEntry, 0, len(pts))
 	jobs := make([]simJob, 0, len(pts))
 	for _, xi := range pts {
-		if !c.cfg.AcceptanceSampling {
-			c.border.assigned++
-			c.border.simmed++
-			jobs = append(jobs, simJob{&c.border, xi})
-			continue
+		st, sh := &c.border, &shBor
+		if c.cfg.AcceptanceSampling && norm2(xi) < c.r0 {
+			st, sh = &c.interior, &shInt
 		}
-		st := &c.border
-		if norm2(xi) < c.r0 {
-			st = &c.interior
-		}
-		st.assigned++
+		sh.assigned++
 		// The border stratum is always simulated; the interior stratum is
 		// thinned once it has a minimal simulated base.
-		thin := st == &c.interior && st.simmed >= c.cfg.ASMinStratum
+		sim := true
+		thin := c.cfg.AcceptanceSampling && st == &c.interior && sh.simmed >= c.cfg.ASMinStratum
 		if thin {
-			st.skip++
-			if st.skip%c.cfg.ASThinning != 0 {
-				continue
+			sh.skip++
+			if sh.skip%c.cfg.ASThinning != 0 {
+				sim = false
 			}
 		}
-		st.simmed++
-		jobs = append(jobs, simJob{st, xi})
+		if sim {
+			sh.simmed++
+			jobs = append(jobs, simJob{st, xi})
+		}
+		chunk := 0
+		if len(jobs) > 0 {
+			chunk = (len(jobs) - 1) / simChunk
+		}
+		plan = append(plan, planEntry{st, sim, thin, chunk})
 	}
 	pass := make([]bool, len(jobs))
 	chunks := (len(jobs) + simChunk - 1) / simChunk
-	if err := engine.ForEachNCtx(c.cfg.Ctx, c.cfg.Workers, chunks, func(ci int) error {
+	chunkDone := make([]bool, chunks)
+	runErr := engine.ForEachNCtx(c.cfg.Ctx, c.cfg.Workers, chunks, func(ci int) error {
 		lo := ci * simChunk
 		hi := lo + simChunk
 		if hi > len(jobs) {
@@ -207,23 +235,39 @@ func (c *Candidate) AddSamples(n int) error {
 			xis[i] = jobs[lo+i].xi
 		}
 		ok, _, err := problem.PassFailBatch(c.prob, c.X, xis)
-		if c.counter != nil {
-			c.counter.Add(int64(hi - lo))
-		}
 		if err != nil {
 			return err
 		}
+		if c.counter != nil {
+			c.counter.Add(int64(hi - lo))
+		}
 		copy(pass[lo:hi], ok)
+		chunkDone[ci] = true
 		return nil
-	}); err != nil {
-		return err
-	}
-	for i, ok := range pass {
-		if ok {
-			jobs[i].st.pass++
+	})
+	// Commit phase (ForEachNCtx joins its workers, so chunkDone and pass are
+	// settled). On success every chunk committed and the fold reproduces the
+	// shadow state bit for bit; on error only completed chunks count.
+	ji := 0
+	for _, pe := range plan {
+		committed := chunks == 0 || chunkDone[pe.chunk]
+		if committed {
+			pe.st.assigned++
+			if pe.thin {
+				pe.st.skip++
+			}
+		}
+		if pe.sim {
+			if committed {
+				pe.st.simmed++
+				if pass[ji] {
+					pe.st.pass++
+				}
+			}
+			ji++
 		}
 	}
-	return nil
+	return runErr
 }
 
 // SetWorkers adjusts the worker bound for subsequent batches. Worker
@@ -313,9 +357,10 @@ type RefOptions struct {
 	// and deterministic for a given (seed, n), it just scopes the variance
 	// reduction to refChunk-sample blocks.
 	Sampler sample.Sampler
-	// Counter, when non-nil, is incremented chunk by chunk as simulator
-	// calls happen, so a cancelled run's accounting reflects the work
-	// actually spent (a completed run still totals exactly n).
+	// Counter, when non-nil, is incremented chunk by chunk as chunks
+	// complete, so a cancelled run's accounting reflects the work actually
+	// spent (a completed run still totals exactly n; a structurally failed
+	// chunk counts nothing).
 	Counter *Counter
 	// Progress, when non-nil, is called after each completed chunk with
 	// the cumulative simulated and passing sample counts. Calls are
@@ -359,11 +404,13 @@ func ReferenceCtx(ctx context.Context, p problem.Problem, x []float64, n int, se
 		// its compiled per-design state (and Newton warm starts) alive
 		// across the whole chunk; per-sample errors are failed chips.
 		ok, _, err := problem.PassFailBatch(p, x, pts)
+		if err != nil {
+			// A structurally failed chunk's results are untrustworthy, so its
+			// samples are not counted as simulations.
+			return 0, err
+		}
 		if o.Counter != nil {
 			o.Counter.Add(int64(hi - lo))
-		}
-		if err != nil {
-			return 0, err
 		}
 		pass := 0
 		for _, v := range ok {
