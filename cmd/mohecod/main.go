@@ -6,6 +6,14 @@
 // Usage:
 //
 //	mohecod [-addr :8650] [-workers N] [-jobs N] [-cache N] [-queue N] [-quiet]
+//	        [-coordinator] [-join URL[,URL...]] [-node NAME] [-lease DUR]
+//	        [-shard N] [-no-self-work]
+//
+// Fleet mode: `-coordinator` makes the daemon split yield jobs into
+// deterministic chunk-range shards and serve them to pull-based workers on
+// /v1/shards; `-join` makes it a worker of the coordinator at URL (while
+// still answering its own API locally). Sharded results are bit-identical
+// to single-node runs — see DESIGN.md, "Distributed fleet".
 //
 // Endpoints (see internal/service):
 //
@@ -49,6 +57,13 @@ func main() {
 		cache   = flag.Int("cache", 0, "completed jobs retained for result reuse (0 = 256)")
 		queue   = flag.Int("queue", 0, "pending-job queue bound (0 = 256)")
 		quiet   = flag.Bool("quiet", false, "suppress per-job log lines")
+
+		coordinator = flag.Bool("coordinator", false, "schedule yield jobs as fleet shards served on /v1/shards")
+		join        = flag.String("join", "", "coordinator URL(s, comma-separated failover list) to join as a worker")
+		node        = flag.String("node", "", "this node's fleet name (default <role>-<pid>)")
+		lease       = flag.Duration("lease", 0, "shard lease before re-dispatch to a surviving node (0 = 15s)")
+		shard       = flag.Int("shard", 0, "target shard size in samples, rounded up to whole chunks (0 = 8192)")
+		noSelfWork  = flag.Bool("no-self-work", false, "coordinator only dispatches, never executes shards itself")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: mohecod [flags]\n\n")
@@ -57,12 +72,25 @@ func main() {
 	}
 	flag.Parse()
 
+	if *coordinator && *join != "" {
+		fmt.Fprintln(os.Stderr, "mohecod: -coordinator and -join are mutually exclusive (a coordinator is already a node of its own fleet)")
+		os.Exit(2)
+	}
+
 	logger := log.New(os.Stderr, "mohecod: ", log.LstdFlags)
 	cfg := service.Config{
 		Workers:   *workers,
 		Jobs:      *jobs,
 		QueueSize: *queue,
 		CacheSize: *cache,
+		Fleet: service.FleetConfig{
+			Coordinator:  *coordinator,
+			Join:         *join,
+			Node:         *node,
+			Lease:        *lease,
+			ShardSamples: *shard,
+			NoSelfWork:   *noSelfWork,
+		},
 	}
 	if !*quiet {
 		cfg.Log = logger
@@ -80,7 +108,8 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		logger.Printf("serving %d scenarios on %s", len(scenario.Names()), *addr)
+		fleet := svc.Fleet()
+		logger.Printf("serving %d scenarios on %s (%s %q)", len(scenario.Names()), *addr, fleet.Role, fleet.Node)
 		errc <- httpSrv.ListenAndServe()
 	}()
 

@@ -7,15 +7,19 @@
 //	mohecorun [-problem NAME] [-method NAME] [-maxsims N] [-seed S]
 //	          [-maxgens N] [-ref N] [-workers N] [-trace]
 //	          [-tstop T] [-tstep T] [-tranmode adaptive|fixed]
-//	          [-timeout DUR] [-server URL]
+//	          [-timeout DUR] [-server URL[,URL...]]
 //
 // Problems come from the scenario registry (-h lists them); methods are
 // moheco, oo and fixed. The -tstop/-tstep/-tranmode flags override the
 // transient window of a time-domain problem (an error on problems without
 // one). With -server, the optimization runs on a mohecod daemon
 // (bit-identical result at the same request; -trace, -fixedsims and the
-// tran flags are local-only). -timeout cancels the run — local or served —
-// when it expires; the command then exits with code 2.
+// tran flags are local-only). -server accepts a comma-separated endpoint
+// list; the client retries transient failures with backoff and fails over
+// between endpoints, resubmitting if the endpoint holding the job dies
+// (the daemons' canonical-key caches dedupe identical requests). -timeout
+// cancels the run — local or served — when it expires; the command then
+// exits with code 2.
 package main
 
 import (
@@ -47,7 +51,7 @@ func main() {
 		tStep    = flag.Float64("tstep", 0, "transient initial/fixed step override (s)")
 		tranMode = flag.String("tranmode", "", "transient integrator mode: adaptive | fixed (default: problem's)")
 		timeout  = flag.Duration("timeout", 0, "cancel the optimization after this duration (exit code 2)")
-		server   = flag.String("server", "", "mohecod daemon URL (e.g. http://127.0.0.1:8650); empty = run locally")
+		server   = flag.String("server", "", "mohecod daemon URL, or a comma-separated failover list; empty = run locally")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: mohecorun [flags]\n\n")

@@ -6,7 +6,8 @@
 //
 //	yieldest -problem foldedcascode [-n N] [-seed S] [-workers N] [-x "v1,v2,..."]
 //	         [-sampler pmc|lhs|halton] [-tstop T] [-tstep T] [-tranmode adaptive|fixed]
-//	         [-timeout DUR] [-server URL] [-lanes K]
+//	         [-timeout DUR] [-server URL[,URL...]] [-lanes K]
+//	         [-benchjson FILE] [-benchname NAME]
 //
 // Without -x, the problem's built-in reference design is analyzed; without
 // -n, the problem's default reference sample count is used. Problems come
@@ -16,8 +17,15 @@
 // 2 and lists the tran-capable scenarios. With -server, the estimate is served by a mohecod
 // daemon — results are bit-identical to the local path at the same
 // (problem, x, n, seed, sampler, tran window), so the flag only changes
-// where the simulations burn. -timeout cancels the run (local or served)
-// when it expires; the command then exits with code 2.
+// where the simulations burn. -server accepts a comma-separated endpoint
+// list ("http://a:8650,http://b:8650"); the client retries transient
+// failures with backoff and fails over between endpoints, resubmitting if
+// the endpoint holding the job dies (safe: the daemons' canonical-key
+// caches dedupe identical requests). -timeout cancels the run (local or
+// served) when it expires; the command then exits with code 2. -benchjson
+// appends a samples/sec throughput line for the run to the given file in
+// the CI bench snapshot schema (see internal/perfsnap), named by
+// -benchname.
 package main
 
 import (
@@ -32,6 +40,7 @@ import (
 
 	_ "github.com/eda-go/moheco" // link the circuit registry
 	"github.com/eda-go/moheco/internal/constraint"
+	"github.com/eda-go/moheco/internal/perfsnap"
 	"github.com/eda-go/moheco/internal/profiling"
 	"github.com/eda-go/moheco/internal/sample"
 	"github.com/eda-go/moheco/internal/scenario"
@@ -51,10 +60,13 @@ func main() {
 		tStep    = flag.Float64("tstep", 0, "transient initial/fixed step override (s)")
 		tranMode = flag.String("tranmode", "", "transient integrator mode: adaptive | fixed (default: problem's)")
 		timeout  = flag.Duration("timeout", 0, "cancel the estimate after this duration (exit code 2)")
-		server   = flag.String("server", "", "mohecod daemon URL (e.g. http://127.0.0.1:8650); empty = run locally")
+		server   = flag.String("server", "", "mohecod daemon URL, or a comma-separated failover list; empty = run locally")
 		lanes    = flag.Int("lanes", 0, "lockstep lane count of the sparse batch solver (0 = auto by pattern size; results are identical)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+
+		benchJSON = flag.String("benchjson", "", "append a samples/sec throughput line for this run to the file (perfsnap schema)")
+		benchName = flag.String("benchname", "ServedYield", "benchmark name for the -benchjson line")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: yieldest [flags]\n\n")
@@ -179,8 +191,14 @@ func main() {
 			fatalCtx(ctx, err)
 		}
 	}
+	elapsed := time.Since(start)
 	fmt.Printf("yield: %.3f%% (%d MC samples, plan %s, %s, %s)\n",
-		100*y, *n, plan.Name(), where, time.Since(start).Round(time.Millisecond))
+		100*y, *n, plan.Name(), where, elapsed.Round(time.Millisecond))
+	if *benchJSON != "" {
+		if err := perfsnap.AppendThroughput(*benchJSON, *benchName, int64(*n), elapsed); err != nil {
+			fatal(err)
+		}
+	}
 }
 
 func fatal(err error) {

@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"testing"
 	"time"
 
@@ -137,6 +138,30 @@ type event struct {
 	Action  string    `json:"Action"`
 	Package string    `json:"Package"`
 	Output  string    `json:"Output,omitempty"`
+}
+
+// AppendThroughput appends a one-line throughput snapshot — a benchmark
+// named name that processed samples Monte-Carlo samples in elapsed — to the
+// file at path in the same test2json line schema as Write, creating the
+// file when absent. The fleet-smoke CI job uses it to record samples/sec at
+// different node counts into BENCH_service.json; the samples/s metric is
+// the headline number, the ns/op field is the raw elapsed time.
+func AppendThroughput(path, name string, samples int64, elapsed time.Duration) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	emit := func(action, output string) error {
+		return enc.Encode(event{Time: time.Now().UTC(), Action: action, Package: pkg, Output: output})
+	}
+	rate := float64(samples) / elapsed.Seconds()
+	line := fmt.Sprintf("Benchmark%s\t1\t%d ns/op\t%.1f samples/s\n", name, elapsed.Nanoseconds(), rate)
+	if err := emit("output", line); err != nil {
+		return err
+	}
+	return emit("pass", "")
 }
 
 // Write runs every case through testing.Benchmark and streams the snapshot

@@ -1,0 +1,105 @@
+package service
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/eda-go/moheco/internal/problem"
+	"github.com/eda-go/moheco/internal/sample"
+	"github.com/eda-go/moheco/internal/scenario"
+	"github.com/eda-go/moheco/internal/yieldsim"
+)
+
+// YieldSpec is the fully resolved form of a yield-estimate request: every
+// default filled in, the design vector explicit, the transient window
+// resolved. It is a pure value — two equal specs denote the bit-identical
+// computation — which is what lets it travel over the wire as the payload
+// of a fleet shard and be evaluated on any node with the same scenario
+// registry.
+type YieldSpec struct {
+	Scenario string    `json:"scenario"`
+	X        []float64 `json:"x"`
+	N        int       `json:"n"`
+	Seed     uint64    `json:"seed"`
+	Sampler  string    `json:"sampler"`
+	Tran     *TranSpec `json:"tran,omitempty"`
+}
+
+// instantiate materializes the spec's problem instance (with the resolved
+// transient window applied) and sampler. Each call builds a fresh instance:
+// problem construction is deterministic, so where — and how often — a spec
+// is instantiated never shows in the result.
+func (spec YieldSpec) instantiate() (problem.Problem, sample.Sampler, error) {
+	sc, err := scenario.Get(spec.Scenario)
+	if err != nil {
+		return nil, nil, err
+	}
+	p := sc.New()
+	if len(spec.X) != p.Dim() {
+		return nil, nil, fmt.Errorf("service: scenario %q needs %d design values, got %d", spec.Scenario, p.Dim(), len(spec.X))
+	}
+	if _, err := ResolveTran(p, spec.Scenario, spec.Tran); err != nil {
+		return nil, nil, err
+	}
+	smp, err := sample.ByName(spec.Sampler)
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, smp, nil
+}
+
+// Backend executes resolved yield specs for the job pool — the seam that
+// makes the scheduler transport-agnostic. The job lifecycle (queueing,
+// canonical-key dedupe, cancellation, the result cache) lives above this
+// interface and never knows whether the samples burn in-process or across
+// a fleet; a backend only promises that its return value is the exact
+// passing-sample count of the spec's deterministic sample stream, so every
+// backend produces the bit-identical estimate. Optimize jobs stay local:
+// the memetic loop is sequential across generations, so there is no chunk
+// structure to shard (its inner Monte-Carlo batches already parallelize
+// in-process).
+type Backend interface {
+	// Name identifies the backend ("local", "coordinator") in /healthz.
+	Name() string
+	// Yield evaluates spec and returns its passing-sample count out of
+	// spec.N. progress, when non-nil, receives serialized monotone
+	// cumulative (done, pass) counts as evaluation proceeds — a monitoring
+	// feed, never an input to the result.
+	Yield(ctx context.Context, spec YieldSpec, progress func(done, pass int64)) (int64, error)
+}
+
+// LocalBackend evaluates yield specs in-process on the shared worker pool —
+// the single-node path, and the exact code a fleet worker runs per shard
+// (yieldsim.ChunkPass over the spec's chunk range).
+type LocalBackend struct {
+	// Workers bounds the chunk-evaluation goroutines (0 = GOMAXPROCS);
+	// results never depend on it.
+	Workers int
+	// Counter, when non-nil, receives every simulator invocation.
+	Counter *yieldsim.Counter
+}
+
+// Name implements Backend.
+func (b *LocalBackend) Name() string { return "local" }
+
+// Yield implements Backend: the full chunk range, evaluated here.
+func (b *LocalBackend) Yield(ctx context.Context, spec YieldSpec, progress func(done, pass int64)) (int64, error) {
+	p, smp, err := spec.instantiate()
+	if err != nil {
+		return 0, err
+	}
+	counts, err := yieldsim.ChunkPass(ctx, p, spec.X, spec.N, spec.Seed, 0, yieldsim.NumChunks(spec.N), yieldsim.RefOptions{
+		Workers:  b.Workers,
+		Sampler:  smp,
+		Counter:  b.Counter,
+		Progress: progress,
+	})
+	if err != nil {
+		return 0, err
+	}
+	var pass int64
+	for _, c := range counts {
+		pass += int64(c)
+	}
+	return pass, nil
+}

@@ -1,0 +1,225 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestLRUEvictionOrder pins the eviction discipline: least recently used
+// completed entries leave first, and both Get and a repeat Put refresh
+// recency.
+func TestLRUEvictionOrder(t *testing.T) {
+	c := newLRUCache[int](3)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("c", 3)
+	if _, ok := c.Get("a"); !ok { // refresh a: LRU order now b, c, a
+		t.Fatal("a missing before any eviction")
+	}
+	c.Put("d", 4) // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived eviction despite being least recently used")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("%s evicted out of LRU order", k)
+		}
+	}
+	if got := c.Len(); got != 3 {
+		t.Errorf("Len = %d, want 3", got)
+	}
+
+	c.Put("c", 30) // repeat Put refreshes recency and replaces the value
+	c.Put("e", 5)  // evicts a (oldest), not c
+	if v, ok := c.Get("c"); !ok || v != 30 {
+		t.Errorf("c = %d, %v after refresh, want 30, true", v, ok)
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Error("a survived eviction despite c's refresh")
+	}
+}
+
+// TestLRUDoSingleflight pins in-flight dedupe: concurrent Do calls for one
+// key share a single computation and all observe its value.
+func TestLRUDoSingleflight(t *testing.T) {
+	c := newLRUCache[int](8)
+	var runs atomic.Int32
+	release := make(chan struct{})
+	const waiters = 16
+	var wg sync.WaitGroup
+	results := make([]int, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, _, err := c.Do(context.Background(), "k", func() (int, error) {
+				runs.Add(1)
+				<-release
+				return 42, nil
+			})
+			if err != nil {
+				t.Errorf("Do: %v", err)
+			}
+			results[i] = v
+		}(i)
+	}
+	// Let every goroutine reach Do before releasing the leader, so the test
+	// actually exercises the waiter path.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if got := runs.Load(); got != 1 {
+		t.Errorf("fn ran %d times for one key, want 1", got)
+	}
+	for i, v := range results {
+		if v != 42 {
+			t.Errorf("waiter %d got %d, want 42", i, v)
+		}
+	}
+}
+
+// TestLRUInFlightSurvivesEvictionPressure pins the rule that an in-flight
+// entry is never evicted: while one computation blocks, a flood of
+// completed inserts cycles the LRU far past its bound, and the leader's
+// eventual value must still land in the cache and be shared with waiters.
+// Run under -race this also shakes out ordering bugs between Do and the
+// eviction path.
+func TestLRUInFlightSurvivesEvictionPressure(t *testing.T) {
+	c := newLRUCache[int](2)
+	release := make(chan struct{})
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		v, hit, err := c.Do(context.Background(), "inflight", func() (int, error) {
+			<-release
+			return 7, nil
+		})
+		if err != nil || hit || v != 7 {
+			t.Errorf("leader: v=%d hit=%v err=%v, want 7 false nil", v, hit, err)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				c.Put(fmt.Sprintf("junk-%d-%d", g, i), i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := c.Len(); got != 2 {
+		t.Fatalf("Len = %d under pressure, want bound 2", got)
+	}
+
+	close(release)
+	<-leaderDone
+	// The freshly completed in-flight entry is now the most recent; it must
+	// be present despite the churn that happened while it ran.
+	if v, ok := c.Get("inflight"); !ok || v != 7 {
+		t.Fatalf("in-flight entry lost to eviction pressure: v=%d ok=%v", v, ok)
+	}
+	if v, hit, err := c.Do(context.Background(), "inflight", func() (int, error) {
+		t.Error("fn re-ran for a cached key")
+		return 0, nil
+	}); v != 7 || !hit || err != nil {
+		t.Fatalf("Do after completion: v=%d hit=%v err=%v, want 7 true nil", v, hit, err)
+	}
+}
+
+// TestLRUDoErrorNotCached pins failure semantics: a failed computation is
+// not cached, its waiters retry (one becoming the new leader), and a later
+// success is.
+func TestLRUDoErrorNotCached(t *testing.T) {
+	c := newLRUCache[int](4)
+	boom := errors.New("boom")
+	var runs atomic.Int32
+	if _, _, err := c.Do(context.Background(), "k", func() (int, error) {
+		runs.Add(1)
+		return 0, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	v, hit, err := c.Do(context.Background(), "k", func() (int, error) {
+		runs.Add(1)
+		return 9, nil
+	})
+	if err != nil || hit || v != 9 {
+		t.Fatalf("retry after failure: v=%d hit=%v err=%v, want 9 false nil", v, hit, err)
+	}
+	if got := runs.Load(); got != 2 {
+		t.Fatalf("fn ran %d times, want 2 (failure must not cache)", got)
+	}
+	if _, ok := c.Get("k"); !ok {
+		t.Fatal("successful retry not cached")
+	}
+}
+
+// TestLRUDoWaiterRetriesAfterLeaderFailure exercises the waiter loop: the
+// leader fails while a waiter blocks; the waiter must wake, become the new
+// leader, and succeed.
+func TestLRUDoWaiterRetriesAfterLeaderFailure(t *testing.T) {
+	c := newLRUCache[int](4)
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		_, _, _ = c.Do(context.Background(), "k", func() (int, error) {
+			close(leaderIn)
+			<-release
+			return 0, errors.New("leader failed")
+		})
+	}()
+	<-leaderIn
+	waiterDone := make(chan struct{})
+	go func() {
+		defer close(waiterDone)
+		v, hit, err := c.Do(context.Background(), "k", func() (int, error) {
+			return 11, nil
+		})
+		if err != nil || hit || v != 11 {
+			t.Errorf("waiter-turned-leader: v=%d hit=%v err=%v, want 11 false nil", v, hit, err)
+		}
+	}()
+	close(release)
+	select {
+	case <-waiterDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter never recovered from leader failure")
+	}
+}
+
+// TestLRUDoContextBoundsWait pins that a waiter's context bounds its wait
+// on an in-flight computation without disturbing the leader.
+func TestLRUDoContextBoundsWait(t *testing.T) {
+	c := newLRUCache[int](4)
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		_, _, _ = c.Do(context.Background(), "k", func() (int, error) {
+			close(leaderIn)
+			<-release
+			return 5, nil
+		})
+	}()
+	<-leaderIn
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, _, err := c.Do(ctx, "k", func() (int, error) { return 0, nil }); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("waiter err = %v, want deadline exceeded", err)
+	}
+	close(release)
+	// The leader is unaffected by the waiter's timeout: its value lands.
+	v, _, err := c.Do(context.Background(), "k", func() (int, error) {
+		return 0, errors.New("fn must not re-run while leader in flight")
+	})
+	if err != nil || v != 5 {
+		t.Fatalf("after leader completion: v=%d err=%v, want 5 nil", v, err)
+	}
+}

@@ -4,10 +4,13 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 
 	"github.com/eda-go/moheco/internal/scenario"
@@ -17,6 +20,15 @@ import (
 // flags, so a laptop `yieldest -server http://host:8650` shares the
 // daemon's warm engines and result cache instead of simulating locally.
 //
+// The base URL may be a comma-separated endpoint list; the client fails
+// over between them. Transient failures — connection errors and HTTP 5xx —
+// are retried with capped exponential backoff plus jitter, rotating to the
+// next endpoint each attempt; the caller's context deadline always wins.
+// Because job IDs are node-local, a submitted job is polled only on the
+// endpoint that accepted it ("pinned"); if that endpoint dies mid-wait the
+// client resubmits elsewhere, which is safe (and usually free) because the
+// canonical-key cache dedupes identical requests.
+//
 // Submission is asynchronous on the wire; Yield and Optimize hide that by
 // long-polling the job until completion. When the caller's context is
 // cancelled mid-wait (Ctrl-C, -timeout), the client best-effort DELETEs the
@@ -24,15 +36,61 @@ import (
 // result was served from cache or the job was coalesced with someone
 // else's identical in-flight request, in which case it is left alone.
 type Client struct {
-	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8650".
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8650", or a
+	// comma-separated list of roots to fail over between.
 	BaseURL string
 	// HTTPClient overrides http.DefaultClient when non-nil.
 	HTTPClient *http.Client
+
+	mu        sync.Mutex
+	endpoints []string
+	pref      int // index of the last endpoint that answered
 }
 
-// NewClient returns a client for the daemon at base.
+// Client-side retry policy for transient failures.
+const (
+	clientRetryBase = 200 * time.Millisecond
+	clientRetryCap  = 3 * time.Second
+	clientRetryMax  = 5 // attempts per request before surfacing the error
+)
+
+// NewClient returns a client for the daemon at base — a single URL or a
+// comma-separated failover list.
 func NewClient(base string) *Client {
-	return &Client{BaseURL: strings.TrimRight(base, "/")}
+	return &Client{BaseURL: base}
+}
+
+// eps returns the parsed endpoint list (lazily, so a Client constructed as
+// a literal with just BaseURL keeps working).
+func (c *Client) eps() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.endpoints == nil {
+		for _, p := range strings.Split(c.BaseURL, ",") {
+			if p = strings.TrimRight(strings.TrimSpace(p), "/"); p != "" {
+				c.endpoints = append(c.endpoints, p)
+			}
+		}
+		if c.endpoints == nil {
+			c.endpoints = []string{""}
+		}
+	}
+	return c.endpoints
+}
+
+// Endpoints returns the failover list as a comma-separated string.
+func (c *Client) Endpoints() string { return strings.Join(c.eps(), ",") }
+
+func (c *Client) preferred() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pref
+}
+
+func (c *Client) setPreferred(i int) {
+	c.mu.Lock()
+	c.pref = i
+	c.mu.Unlock()
 }
 
 // Yield submits a yield-estimate request and blocks until the served
@@ -84,15 +142,41 @@ func (c *Client) Health(ctx context.Context) (map[string]any, error) {
 	return resp, nil
 }
 
+// LeaseShards implements shardSource over HTTP: fleet workers pull shard
+// leases from their coordinator with it.
+func (c *Client) LeaseShards(ctx context.Context, node string, max int) ([]Shard, time.Duration, error) {
+	var resp ShardLeaseResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/shards/lease", ShardLeaseRequest{Node: node, Max: max}, &resp); err != nil {
+		return nil, 0, err
+	}
+	return resp.Shards, time.Duration(resp.LeaseMS) * time.Millisecond, nil
+}
+
+// CompleteShard implements shardSource over HTTP.
+func (c *Client) CompleteShard(ctx context.Context, id string, res ShardResult) error {
+	return c.do(ctx, http.MethodPost, "/v1/shards/"+id+"/complete", res, nil)
+}
+
+// errJobLost marks a pinned endpoint that stopped answering (or forgot the
+// job) mid-wait; submitAndAwait reacts by resubmitting on the survivors.
+var errJobLost = errors.New("service: job endpoint lost")
+
 func (c *Client) submitAndAwait(ctx context.Context, path string, req any) (*Status, error) {
-	// One retry: a coalesced job can be cancelled under us by whoever
-	// created it (their DELETE kills the shared job); if our context is
-	// still alive that is not our cancellation, so resubmit once — the
-	// cancelled job has left the key map, so the retry runs fresh.
+	// Bounded resubmits, two causes: a coalesced job cancelled under us by
+	// whoever created it (their DELETE kills the shared job — the key slot
+	// is free again, so a resubmit runs fresh), and a pinned endpoint dying
+	// mid-wait (the job ID means nothing elsewhere, so a resubmit on a
+	// surviving endpoint is the failover path; the canonical-key cache makes
+	// it cheap when the work already completed).
+	budget := 1 + len(c.eps())
 	for attempt := 0; ; attempt++ {
 		st, err := c.submitAndAwaitOnce(ctx, path, req)
-		if err == nil || ctx.Err() != nil || attempt >= 1 ||
-			st == nil || st.State != StateCancelled {
+		if err == nil || ctx.Err() != nil || attempt >= budget {
+			return st, err
+		}
+		lost := errors.Is(err, errJobLost)
+		cancelled := st != nil && st.State == StateCancelled
+		if !lost && !cancelled {
 			return st, err
 		}
 	}
@@ -100,7 +184,8 @@ func (c *Client) submitAndAwait(ctx context.Context, path string, req any) (*Sta
 
 func (c *Client) submitAndAwaitOnce(ctx context.Context, path string, req any) (*Status, error) {
 	var st Status
-	if err := c.do(ctx, http.MethodPost, path, req, &st); err != nil {
+	ep, err := c.doFailover(ctx, http.MethodPost, path, req, &st)
+	if err != nil {
 		return nil, err
 	}
 	// Only the submission response carries the coalesced/cached marker;
@@ -109,16 +194,18 @@ func (c *Client) submitAndAwaitOnce(ctx context.Context, path string, req any) (
 	cached := st.Cached
 	for !st.State.Terminal() {
 		if err := ctx.Err(); err != nil {
-			c.abandon(&st, cached)
+			c.abandon(ep, &st, cached)
 			return nil, err
 		}
-		next, err := c.poll(ctx, st.ID)
+		next, err := c.poll(ctx, ep, st.ID)
 		if err != nil {
 			if ctx.Err() != nil {
-				c.abandon(&st, cached)
+				c.abandon(ep, &st, cached)
 				return nil, ctx.Err()
 			}
-			return nil, err
+			// The pinned endpoint is gone (retries exhausted) or restarted
+			// without the job: fail over by resubmitting.
+			return nil, fmt.Errorf("%w: %v", errJobLost, err)
 		}
 		st = *next
 		st.Cached = cached
@@ -132,11 +219,11 @@ func (c *Client) submitAndAwaitOnce(ctx context.Context, path string, req any) (
 	return &st, nil
 }
 
-// poll long-polls the job for up to 10s server-side; the request context
-// still bounds the whole call.
-func (c *Client) poll(ctx context.Context, id string) (*Status, error) {
+// poll long-polls the job for up to 10s server-side on its pinned endpoint;
+// the request context still bounds the whole call.
+func (c *Client) poll(ctx context.Context, ep, id string) (*Status, error) {
 	var st Status
-	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"?wait=10s", nil, &st); err != nil {
+	if err := c.doPinned(ctx, ep, http.MethodGet, "/v1/jobs/"+id+"?wait=10s", nil, &st); err != nil {
 		return nil, err
 	}
 	return &st, nil
@@ -148,16 +235,110 @@ func (c *Client) poll(ctx context.Context, id string) (*Status, error) {
 // onto *after* we created it can still be cancelled by our abandon — those
 // waiters resubmit (see submitAndAwait), trading one redundant cancel for
 // not leaking abandoned work.
-func (c *Client) abandon(st *Status, cached bool) {
+func (c *Client) abandon(ep string, st *Status, cached bool) {
 	if st.ID == "" || cached {
 		return
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel()
-	_, _ = c.Cancel(ctx, st.ID)
+	var out Status
+	_ = c.doPinned(ctx, ep, http.MethodDelete, "/v1/jobs/"+st.ID, nil, &out)
 }
 
+// statusError is an HTTP error response; codes >= 500 are transient.
+type statusError struct {
+	code   int
+	method string
+	path   string
+	msg    string
+}
+
+func (e *statusError) Error() string {
+	if e.msg != "" {
+		return fmt.Sprintf("service: %s %s: %s (HTTP %d)", e.method, e.path, e.msg, e.code)
+	}
+	return fmt.Sprintf("service: %s %s: HTTP %d", e.method, e.path, e.code)
+}
+
+// transient reports whether an attempt's failure merits a retry: network
+// trouble (connection refused, reset, timeout) and server-side 5xx are;
+// 4xx — the request itself is wrong — is not.
+func transient(err error) bool {
+	var se *statusError
+	if errors.As(err, &se) {
+		return se.code >= 500
+	}
+	// Anything else out of the transport (url.Error wrapping a syscall
+	// error, an aborted body read) is connection trouble.
+	return true
+}
+
+// do performs a request with retry and endpoint failover.
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	_, err := c.doFailover(ctx, method, path, body, out)
+	return err
+}
+
+// doFailover retries transient failures across the endpoint list, starting
+// at the last endpoint that answered, and returns the one that did.
+func (c *Client) doFailover(ctx context.Context, method, path string, body, out any) (string, error) {
+	eps := c.eps()
+	start := c.preferred() % len(eps)
+	var err error
+	for try := 0; try < clientRetryMax; try++ {
+		i := (start + try) % len(eps)
+		if err = c.once(ctx, eps[i], method, path, body, out); err == nil {
+			c.setPreferred(i)
+			return eps[i], nil
+		}
+		if !transient(err) || ctx.Err() != nil {
+			return "", err
+		}
+		if werr := c.backoff(ctx, try); werr != nil {
+			return "", werr
+		}
+	}
+	return "", err
+}
+
+// doPinned retries transient failures against one endpoint only — used for
+// job polls, whose IDs other endpoints would not recognize.
+func (c *Client) doPinned(ctx context.Context, ep, method, path string, body, out any) error {
+	var err error
+	for try := 0; try < clientRetryMax; try++ {
+		if err = c.once(ctx, ep, method, path, body, out); err == nil {
+			return nil
+		}
+		if !transient(err) || ctx.Err() != nil {
+			return err
+		}
+		if werr := c.backoff(ctx, try); werr != nil {
+			return werr
+		}
+	}
+	return err
+}
+
+// backoff sleeps the try-th capped exponential backoff with jitter, bailing
+// out when ctx ends.
+func (c *Client) backoff(ctx context.Context, try int) error {
+	d := clientRetryBase << uint(try)
+	if d > clientRetryCap {
+		d = clientRetryCap
+	}
+	// Full jitter on the upper half de-synchronizes a fleet of clients
+	// hammering a restarting daemon.
+	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-time.After(d):
+		return nil
+	}
+}
+
+// once performs a single attempt against a single endpoint.
+func (c *Client) once(ctx context.Context, ep, method, path string, body, out any) error {
 	var rd io.Reader
 	if body != nil {
 		data, err := json.Marshal(body)
@@ -166,7 +347,7 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		}
 		rd = bytes.NewReader(data)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	req, err := http.NewRequestWithContext(ctx, method, ep+path, rd)
 	if err != nil {
 		return err
 	}
@@ -187,13 +368,14 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		return err
 	}
 	if resp.StatusCode >= 400 {
+		se := &statusError{code: resp.StatusCode, method: method, path: path}
 		var e struct {
 			Error string `json:"error"`
 		}
-		if json.Unmarshal(data, &e) == nil && e.Error != "" {
-			return fmt.Errorf("service: %s %s: %s (HTTP %d)", method, path, e.Error, resp.StatusCode)
+		if json.Unmarshal(data, &e) == nil {
+			se.msg = e.Error
 		}
-		return fmt.Errorf("service: %s %s: HTTP %d", method, path, resp.StatusCode)
+		return se
 	}
 	if out == nil {
 		return nil

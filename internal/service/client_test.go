@@ -1,0 +1,148 @@
+package service_test
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/eda-go/moheco/internal/service"
+)
+
+// TestClientRetriesTransient5xx: a daemon answering 5xx (restarting, proxy
+// hiccup) is retried with backoff until it recovers; the caller never sees
+// the transient failures.
+func TestClientRetriesTransient5xx(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, `{"error":"warming up"}`, http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"status":"ok"}`))
+	}))
+	defer ts.Close()
+
+	health, err := service.NewClient(ts.URL).Health(context.Background())
+	if err != nil {
+		t.Fatalf("client gave up on a recovering daemon: %v", err)
+	}
+	if health["status"] != "ok" {
+		t.Errorf("health = %v", health)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d attempts, want 3 (2 failures + 1 success)", got)
+	}
+}
+
+// TestClientNoRetryOn4xx: a request the server rejects as wrong is not
+// retried — hammering a daemon with a bad request would never succeed.
+func TestClientNoRetryOn4xx(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"no such job"}`, http.StatusNotFound)
+	}))
+	defer ts.Close()
+
+	_, err := service.NewClient(ts.URL).Status(context.Background(), "j00000001")
+	if err == nil || !strings.Contains(err.Error(), "HTTP 404") {
+		t.Fatalf("err = %v, want HTTP 404", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("server saw %d attempts for a 4xx, want 1", got)
+	}
+}
+
+// TestClientContextBoundsRetries: the caller's deadline wins over the
+// retry schedule.
+func TestClientContextBoundsRetries(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"down"}`, http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := service.NewClient(ts.URL).Health(ctx); err == nil {
+		t.Fatal("expected failure against a permanently down daemon")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("retries ran %v past a 150ms deadline", elapsed)
+	}
+}
+
+// TestClientEndpointFailover: a comma-separated endpoint list fails over
+// from a dead endpoint (connection refused) to a live one — the flag shape
+// yieldest/mohecorun pass through from -server.
+func TestClientEndpointFailover(t *testing.T) {
+	_, liveClient, _ := newTestServer(t, service.Config{Jobs: 1})
+	live := liveClient.Endpoints()
+	// A listener that was closed immediately: connections are refused.
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close()
+
+	client := service.NewClient(deadURL + "," + live)
+	st, err := client.Yield(context.Background(), service.YieldRequest{
+		Scenario: "svc-test", N: 3000, Seed: service.Seed(1),
+	})
+	if err != nil {
+		t.Fatalf("failover client failed: %v", err)
+	}
+	if st.State != service.StateDone || st.Yield == nil {
+		t.Fatalf("state %s, yield %v", st.State, st.Yield)
+	}
+
+	// The surviving endpoint is remembered: the next request goes straight
+	// to it (no renewed dial of the dead endpoint is observable here, but
+	// the call must still succeed promptly).
+	start := time.Now()
+	if _, err := client.Health(context.Background()); err != nil {
+		t.Fatalf("health after failover: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("preferred-endpoint request took %v, want fast path", elapsed)
+	}
+}
+
+// TestClientResubmitsWhenEndpointDies: a job's endpoint dying mid-wait is
+// survived by resubmitting on the failover list; canonical-key dedupe makes
+// the retry converge on the same deterministic result.
+func TestClientResubmitsWhenEndpointDies(t *testing.T) {
+	// Endpoint 1 accepts the submit, then vanishes before the job is done:
+	// a stub that answers the POST with a fake queued job and then starts
+	// refusing connections.
+	var died atomic.Bool
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if died.Load() {
+			http.Error(w, `{"error":"shutting down"}`, http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"id":"j00000001","kind":"yield","scenario":"svc-test","state":"queued","created":"2026-01-01T00:00:00Z"}`))
+	}))
+	defer stub.Close()
+	_, liveClient, _ := newTestServer(t, service.Config{Jobs: 1})
+
+	client := service.NewClient(stub.URL + "," + liveClient.Endpoints())
+	go func() {
+		// Kill the stub endpoint shortly after the submit lands there.
+		time.Sleep(100 * time.Millisecond)
+		died.Store(true)
+	}()
+	st, err := client.Yield(context.Background(), service.YieldRequest{
+		Scenario: "svc-test", N: 3000, Seed: service.Seed(2),
+	})
+	if err != nil {
+		t.Fatalf("client did not survive its submit endpoint dying: %v", err)
+	}
+	if st.State != service.StateDone || st.Yield == nil {
+		t.Fatalf("state %s, yield %v", st.State, st.Yield)
+	}
+}

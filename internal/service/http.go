@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 	"time"
 
 	"github.com/eda-go/moheco/internal/scenario"
@@ -20,7 +21,13 @@ import (
 //	DELETE /v1/jobs/{id}        cancel the job
 //	GET    /v1/jobs/{id}/events SSE progress stream until completion
 //	GET    /v1/scenarios        the scenario registry (dims, defaults, reference design)
-//	GET    /healthz             liveness + job/simulation counters
+//	GET    /healthz             liveness, build/version, worker + lane config, fleet role, counters
+//
+// A server started as a fleet coordinator additionally serves the shard
+// protocol that fleet workers pull on:
+//
+//	POST   /v1/shards/lease         lease up to `max` shards for `node` (long-polls when idle)
+//	POST   /v1/shards/{id}/complete report a shard's per-chunk pass counts (or failure)
 //
 // Every response body is JSON except the SSE stream. Submissions respond
 // with the job's Status; the `cached` field marks a request coalesced onto
@@ -35,6 +42,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	if s.coord != nil {
+		mux.HandleFunc("POST /v1/shards/lease", s.handleShardLease)
+		mux.HandleFunc("POST /v1/shards/{id}/complete", s.handleShardComplete)
+	}
 	return mux
 }
 
@@ -44,13 +55,62 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	for st, n := range counts {
 		byState[string(st)] = n
 	}
+	workers := s.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":    "ok",
+		"version":   Version,
+		"go":        runtime.Version(),
 		"uptime_s":  s.Uptime().Seconds(),
 		"sims":      s.Sims(),
 		"jobs":      byState,
+		"job_lanes": s.cfg.Jobs,
+		"workers":   workers,
+		"backend":   s.BackendName(),
+		"fleet":     s.Fleet(),
 		"scenarios": len(scenario.Names()),
 	})
+}
+
+// handleShardLease serves POST /v1/shards/lease: block (bounded by the
+// coordinator's long-poll) until shards are available, then lease them to
+// the requesting node.
+func (s *Server) handleShardLease(w http.ResponseWriter, r *http.Request) {
+	var req ShardLeaseRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if req.Node == "" {
+		writeError(w, http.StatusBadRequest, errors.New("service: shard lease needs a node name"))
+		return
+	}
+	shards, lease, err := s.coord.LeaseShards(r.Context(), req.Node, req.Max)
+	if err != nil {
+		// Only the caller's disconnect gets here; the status is moot.
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	if shards == nil {
+		shards = []Shard{}
+	}
+	writeJSON(w, http.StatusOK, ShardLeaseResponse{Shards: shards, LeaseMS: lease.Milliseconds()})
+}
+
+// handleShardComplete serves POST /v1/shards/{id}/complete. Stale and
+// duplicate completions answer 200 like live ones — re-dispatch makes them
+// normal, and the worker has nothing to do about it either way.
+func (s *Server) handleShardComplete(w http.ResponseWriter, r *http.Request) {
+	var res ShardResult
+	if !decodeJSON(w, r, &res) {
+		return
+	}
+	if err := s.coord.CompleteShard(r.Context(), r.PathValue("id"), res); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {

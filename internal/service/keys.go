@@ -1,0 +1,75 @@
+package service
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/eda-go/moheco/internal/yieldsim"
+)
+
+// Canonical request keys. Two requests share a key exactly when the
+// library guarantees they produce the bit-identical result, so the key
+// doubles as the result-cache address and the in-flight dedupe handle.
+// Keys are built from the *resolved* request — defaults already filled in —
+// so an explicit `"n": 50000` and an omitted n that resolves to 50000
+// coalesce. Design vectors are encoded as the exact IEEE-754 bit patterns
+// of their coordinates: float formatting would either round (colliding
+// distinct designs) or print spuriously distinct forms of equal values
+// (-0 vs 0 are the only bit-distinct equal floats, and those genuinely may
+// sample differently downstream, so bitwise is the honest equality).
+
+// yieldKey canonicalizes a resolved yield spec. The transient window is
+// keyed by the exact float bits of (tstop, step) plus the integrator mode:
+// the window changes the measured waveform, so two requests differing in it
+// are different computations even at one design.
+func yieldKey(spec YieldSpec) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "yield|%s|n=%d|seed=%d|sampler=%s", spec.Scenario, spec.N, spec.Seed, spec.Sampler)
+	if spec.Tran != nil {
+		fmt.Fprintf(&b, "|tran=%016x,%016x,%s",
+			math.Float64bits(spec.Tran.TStop), math.Float64bits(spec.Tran.Step), spec.Tran.Mode)
+	}
+	b.WriteString("|x=")
+	appendBits(&b, spec.X)
+	return b.String()
+}
+
+// optimizeKey canonicalizes a resolved optimize request (Seed non-nil).
+func optimizeKey(req OptimizeRequest) string {
+	return fmt.Sprintf("optimize|%s|method=%s|maxsims=%d|maxgens=%d|seed=%d",
+		req.Scenario, req.Method, req.MaxSims, req.MaxGens, *req.Seed)
+}
+
+// shardKey canonicalizes one shard — a chunk range [first, last) of a
+// resolved yield spec — for the warm-shard cache. A chunk's samples depend
+// on (scenario, x, seed, sampler, tran, chunk index) and on the chunk's own
+// sample count, but NOT on the estimate's total n for full chunks; keying
+// the covered sample range instead of n lets two estimates of different
+// sizes share every full chunk they have in common, while a shard ending in
+// a partial chunk (whose draw count is n-dependent) never collides across
+// different totals.
+func shardKey(spec YieldSpec, first, last int) string {
+	var b strings.Builder
+	hi := last * yieldsim.ChunkSize
+	if hi > spec.N {
+		hi = spec.N
+	}
+	fmt.Fprintf(&b, "shard|%s|seed=%d|sampler=%s|c=%d-%d|s=%d", spec.Scenario, spec.Seed, spec.Sampler, first, last, hi)
+	if spec.Tran != nil {
+		fmt.Fprintf(&b, "|tran=%016x,%016x,%s",
+			math.Float64bits(spec.Tran.TStop), math.Float64bits(spec.Tran.Step), spec.Tran.Mode)
+	}
+	b.WriteString("|x=")
+	appendBits(&b, spec.X)
+	return b.String()
+}
+
+func appendBits(b *strings.Builder, v []float64) {
+	for i, x := range v {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(b, "%016x", math.Float64bits(x))
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"fmt"
 	"log"
 	"math"
+	"os"
 	"sort"
 	"sync"
 	"time"
@@ -73,7 +74,50 @@ type Config struct {
 	WaitLimit time.Duration
 	// Log, when non-nil, receives one line per job transition.
 	Log *log.Logger
+	// Backend, when non-nil, overrides the executor yield jobs run on
+	// (nil = chosen by Fleet: a Coordinator when Fleet.Coordinator is set,
+	// the in-process LocalBackend otherwise). Tests inject instrumented
+	// backends here.
+	Backend Backend
+	// Fleet configures multi-node operation; the zero value is a
+	// single-node server.
+	Fleet FleetConfig
 }
+
+// FleetConfig describes this server's place in a multi-node fleet.
+type FleetConfig struct {
+	// Coordinator enables the shard scheduler: yield jobs are split into
+	// deterministic chunk-range shards served to pull-based workers on
+	// POST /v1/shards/lease, and the merged result is bit-identical to the
+	// single-node run.
+	Coordinator bool
+	// Join, when non-empty, is the coordinator URL (comma-separated
+	// failover list) whose fleet this server joins as a worker: a pull
+	// loop leases shards, executes them locally, and reports the per-chunk
+	// pass counts back. The server still answers its own API.
+	Join string
+	// Node names this node in the fleet; leases and /healthz report it
+	// (empty = "<role>-<pid>").
+	Node string
+	// Lease bounds how long a dispatched shard may stay unacknowledged
+	// before the coordinator re-dispatches it to a surviving node
+	// (0 = 15s).
+	Lease time.Duration
+	// ShardSamples is the target shard size in samples, rounded up to
+	// whole yieldsim.ChunkSize chunks (0 = 8192).
+	ShardSamples int
+	// ShardCacheSize bounds the coordinator's warm-shard LRU (0 = 512).
+	ShardCacheSize int
+	// NoSelfWork keeps the coordinator from executing shards itself,
+	// making it dispatch-only (tests use it to force remote execution; a
+	// default coordinator is also a worker, so a 1-process coordinator
+	// still completes jobs).
+	NoSelfWork bool
+}
+
+// Version identifies the build in /healthz; release builds stamp it via
+// `-ldflags "-X github.com/eda-go/moheco/internal/service.Version=..."`.
+var Version = "dev"
 
 // Submission and lookup errors the HTTP layer maps to status codes.
 var (
@@ -351,6 +395,10 @@ type Server struct {
 	counter *yieldsim.Counter
 	logger  *log.Logger
 	started time.Time
+	backend Backend
+	coord   *Coordinator // non-nil when this server schedules fleet shards
+	role    string       // "single" | "coordinator" | "worker"
+	node    string
 
 	baseCtx context.Context
 	stop    context.CancelFunc
@@ -398,6 +446,49 @@ func New(cfg Config) *Server {
 		jobs:     make(map[string]*Job),
 		byKey:    make(map[string]*Job),
 		retained: list.New(),
+	}
+	s.role = "single"
+	switch {
+	case cfg.Fleet.Coordinator:
+		s.role = "coordinator"
+	case cfg.Fleet.Join != "":
+		s.role = "worker"
+	}
+	s.node = cfg.Fleet.Node
+	if s.node == "" {
+		s.node = fmt.Sprintf("%s-%d", s.role, os.Getpid())
+	}
+	switch {
+	case cfg.Backend != nil:
+		s.backend = cfg.Backend
+	case cfg.Fleet.Coordinator:
+		s.coord = newCoordinator(cfg.Fleet, s.node, counter, cfg.Log)
+		s.backend = s.coord
+		if !cfg.Fleet.NoSelfWork {
+			// The coordinator is also a node of its own fleet: an
+			// in-process runner pulls from the same scheduler the remote
+			// workers lease from, so a 1-process coordinator completes
+			// jobs and an N-process fleet counts the coordinator as one
+			// of its N.
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				// nil counter: the coordinator already counts every shard's
+				// sims from its reported result; a local counter here would
+				// double-count self-work.
+				runShardWorker(s.baseCtx, s.coord, s.node, cfg.Workers, nil, cfg.Log)
+			}()
+		}
+	default:
+		s.backend = &LocalBackend{Workers: cfg.Workers, Counter: counter}
+	}
+	if cfg.Fleet.Join != "" {
+		w := &Worker{Client: NewClient(cfg.Fleet.Join), Node: s.node, Workers: cfg.Workers, Counter: counter, Log: cfg.Log}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			w.Run(s.baseCtx)
+		}()
 	}
 	for i := 0; i < cfg.Jobs; i++ {
 		s.wg.Add(1)
@@ -533,36 +624,40 @@ func (s *Server) SubmitYield(req YieldRequest) (*Job, bool, error) {
 	if err != nil {
 		return nil, false, err
 	}
-	key := yieldKey(req)
+	spec := YieldSpec{
+		Scenario: req.Scenario,
+		X:        req.X,
+		N:        req.N,
+		Seed:     seed,
+		Sampler:  req.Sampler,
+		Tran:     req.Tran,
+	}
+	key := yieldKey(spec)
 	run := func(ctx context.Context, j *Job) error {
 		start := time.Now()
-		y, n, err := yieldsim.ReferenceCtx(ctx, p, req.X, req.N, seed, yieldsim.RefOptions{
-			Workers: s.cfg.Workers,
-			Sampler: smp,
-			Counter: s.counter,
-			Progress: func(done, pass int64) {
-				est := float64(pass) / float64(done)
-				j.setProgress(Progress{
-					Done:  done,
-					Total: int64(req.N),
-					Yield: est,
-					Std:   math.Sqrt(est * (1 - est) / float64(done)),
-				})
-			},
+		pass, err := s.backend.Yield(ctx, spec, func(done, pass int64) {
+			est := float64(pass) / float64(done)
+			j.setProgress(Progress{
+				Done:  done,
+				Total: int64(spec.N),
+				Yield: est,
+				Std:   math.Sqrt(est * (1 - est) / float64(done)),
+			})
 		})
 		if err != nil {
 			return err
 		}
+		y := float64(pass) / float64(spec.N)
 		j.mu.Lock()
 		j.yield = &YieldResult{
-			Scenario:  req.Scenario,
-			X:         req.X,
-			N:         n,
-			Seed:      seed,
-			Sampler:   req.Sampler,
-			Tran:      req.Tran,
+			Scenario:  spec.Scenario,
+			X:         spec.X,
+			N:         spec.N,
+			Seed:      spec.Seed,
+			Sampler:   spec.Sampler,
+			Tran:      spec.Tran,
 			Yield:     y,
-			Std:       math.Sqrt(y * (1 - y) / float64(n)),
+			Std:       math.Sqrt(y * (1 - y) / float64(spec.N)),
 			ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
 		}
 		j.mu.Unlock()

@@ -1,0 +1,433 @@
+// Shard scheduling: the coordinator side of the distributed yield fleet.
+//
+// A yield job of n samples is the chunk-indexed sample stream
+// yieldsim.Chunks(n); the coordinator groups consecutive chunks into
+// shards, serves them to pull-based workers (remote nodes over
+// POST /v1/shards/lease, plus an in-process runner so the coordinator is
+// itself a node), and merges the per-chunk passing-sample counts in
+// chunk-index order. Counts are integers and every chunk's sample stream is
+// a pure function of (scenario, x, seed, sampler, tran, chunk index, chunk
+// length), so the merged estimate is bit-for-bit the single-node result no
+// matter how the chunk space was partitioned, which nodes evaluated which
+// shard, or how often a shard was re-dispatched.
+//
+// Dispatch is lease-based: a shard handed to a node must be acknowledged
+// within the lease or it returns to the head of the queue for a surviving
+// node — a worker killed mid-job delays the merge, never changes it (a late
+// duplicate completion is ignored as stale; it would have carried the
+// identical counts). Completed shards enter a canonical-key LRU
+// (warm-shard cache), keyed so that full chunks are shared across
+// estimates with different total sample counts.
+package service
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"github.com/eda-go/moheco/internal/yieldsim"
+)
+
+// Shard is the distributed unit of work: a contiguous chunk range
+// [First, Last) of one resolved yield spec.
+type Shard struct {
+	ID    string    `json:"id"`
+	Spec  YieldSpec `json:"spec"`
+	First int       `json:"first"`
+	Last  int       `json:"last"`
+}
+
+// Samples returns the number of Monte-Carlo samples the shard covers.
+func (sh Shard) Samples() int {
+	lo := sh.First * yieldsim.ChunkSize
+	hi := sh.Last * yieldsim.ChunkSize
+	if hi > sh.Spec.N {
+		hi = sh.Spec.N
+	}
+	return hi - lo
+}
+
+// ShardLeaseRequest asks the coordinator for up to Max shards on behalf of
+// Node.
+type ShardLeaseRequest struct {
+	Node string `json:"node"`
+	Max  int    `json:"max,omitempty"`
+}
+
+// ShardLeaseResponse carries the leased shards; an empty list means no
+// pending work survived the server-side long-poll.
+type ShardLeaseResponse struct {
+	Shards  []Shard `json:"shards"`
+	LeaseMS int64   `json:"lease_ms"`
+}
+
+// ShardResult reports one executed shard: the per-chunk passing-sample
+// counts in chunk-index order ([First, Last) relative), the simulator
+// invocations spent, and — for a structural failure — the error that kept
+// the node from producing counts.
+type ShardResult struct {
+	Node  string `json:"node"`
+	Pass  []int  `json:"pass,omitempty"`
+	Sims  int64  `json:"sims"`
+	Error string `json:"error,omitempty"`
+}
+
+// shardSource is the pull protocol between the scheduler and a shard
+// runner — the transport-agnostic seam. *Coordinator implements it for the
+// in-process runner; *Client implements it over HTTP for remote workers.
+type shardSource interface {
+	// LeaseShards blocks (bounded by a server-side long-poll) until up to
+	// max shards are available and leases them to node.
+	LeaseShards(ctx context.Context, node string, max int) ([]Shard, time.Duration, error)
+	// CompleteShard reports a shard's outcome. Completing an unknown or
+	// already-completed shard is not an error — re-dispatch makes
+	// duplicates normal, and every duplicate carries identical counts.
+	CompleteShard(ctx context.Context, id string, res ShardResult) error
+}
+
+// shardState is one dispatched-or-pending shard on the coordinator.
+type shardState struct {
+	Shard
+	attempts int       // lease handouts so far
+	failures int       // structural failures reported
+	leasedTo string    // node holding the live lease ("" = pending)
+	deadline time.Time // lease expiry
+	pass     []int     // set on completion
+	err      error     // set when the shard is abandoned as failed
+	done     chan struct{}
+}
+
+// leasePollWait bounds the server-side block of an empty lease request;
+// workers immediately re-poll, so it is a latency/traffic trade, not a
+// correctness knob. It also bounds how long an expired lease can sit
+// unnoticed while every worker is parked in a long poll.
+const leasePollWait = 2 * time.Second
+
+// maxShardFailures is how many structural failures a shard survives
+// (re-queued each time) before its job is failed. Re-dispatch after a
+// *lease expiry* is unbounded — a dead node must never fail a job — but a
+// shard that keeps *erroring* on live nodes is a deterministic failure and
+// retrying it forever would hang the job.
+const maxShardFailures = 3
+
+// Coordinator is the fleet scheduler and the Backend yield jobs run on
+// when the server is started in coordinator mode. It splits each yield
+// spec into shards, serves them to pulling nodes, re-dispatches expired
+// leases, merges per-chunk counts, and keeps completed shards warm in a
+// canonical-key LRU.
+type Coordinator struct {
+	node        string // the coordinator's own node name (excluded from peer counts)
+	counter     *yieldsim.Counter
+	logger      *log.Logger
+	lease       time.Duration
+	shardChunks int
+	cache       *lruCache[[]int]
+
+	mu      sync.Mutex
+	seq     int64
+	pending []*shardState          // FIFO; re-dispatched shards go to the front
+	byID    map[string]*shardState // pending + leased
+	peers   map[string]time.Time   // node → last lease/complete activity
+	wake    chan struct{}          // closed and replaced when pending gains work
+}
+
+func newCoordinator(cfg FleetConfig, node string, counter *yieldsim.Counter, logger *log.Logger) *Coordinator {
+	lease := cfg.Lease
+	if lease <= 0 {
+		lease = 15 * time.Second
+	}
+	samples := cfg.ShardSamples
+	if samples <= 0 {
+		samples = 8192
+	}
+	chunks := (samples + yieldsim.ChunkSize - 1) / yieldsim.ChunkSize
+	return &Coordinator{
+		node:        node,
+		counter:     counter,
+		logger:      logger,
+		lease:       lease,
+		shardChunks: chunks,
+		cache:       newLRUCache[[]int](cfg.ShardCacheSize),
+		byID:        make(map[string]*shardState),
+		peers:       make(map[string]time.Time),
+		wake:        make(chan struct{}),
+	}
+}
+
+// Name implements Backend.
+func (c *Coordinator) Name() string { return "coordinator" }
+
+// Yield implements Backend: plan the spec's shards, run each through the
+// warm-shard cache (a cached shard costs nothing; an in-flight identical
+// shard is joined, not duplicated; the rest are enqueued for pulling
+// nodes), and merge the per-chunk counts in chunk-index order.
+func (c *Coordinator) Yield(ctx context.Context, spec YieldSpec, progress func(done, pass int64)) (int64, error) {
+	// Validate here, not just on the executing node: a spec that cannot
+	// instantiate would otherwise burn its failure budget on every node.
+	if _, _, err := spec.instantiate(); err != nil {
+		return 0, err
+	}
+	nchunks := yieldsim.NumChunks(spec.N)
+	if nchunks == 0 {
+		return 0, fmt.Errorf("yieldsim: reference sample count %d", spec.N)
+	}
+	type plan struct{ first, last int }
+	plans := make([]plan, 0, (nchunks+c.shardChunks-1)/c.shardChunks)
+	for first := 0; first < nchunks; first += c.shardChunks {
+		last := first + c.shardChunks
+		if last > nchunks {
+			last = nchunks
+		}
+		plans = append(plans, plan{first, last})
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		doneCum  int64
+		passCum  int64
+	)
+	counts := make([][]int, len(plans))
+	errs := make([]error, len(plans))
+	for i, pl := range plans {
+		wg.Add(1)
+		go func(i int, pl plan) {
+			defer wg.Done()
+			shardSamples := int64(min(pl.last*yieldsim.ChunkSize, spec.N) - pl.first*yieldsim.ChunkSize)
+			v, _, err := c.cache.Do(ctx, shardKey(spec, pl.first, pl.last), func() ([]int, error) {
+				return c.runShard(ctx, spec, pl.first, pl.last)
+			})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			counts[i] = v
+			if progress != nil {
+				var pass int64
+				for _, p := range v {
+					pass += int64(p)
+				}
+				mu.Lock()
+				doneCum += shardSamples
+				passCum += pass
+				progress(doneCum, passCum)
+				mu.Unlock()
+			}
+		}(i, pl)
+	}
+	wg.Wait()
+	// Deterministic error precedence, mirroring engine.ForEachN: the
+	// lowest-index shard's error is the job's error.
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	var pass int64
+	for _, shard := range counts {
+		for _, p := range shard {
+			pass += int64(p)
+		}
+	}
+	return pass, nil
+}
+
+// runShard enqueues one shard and blocks until a node completes it or ctx
+// is cancelled. It is always called as a cache.Do leader, so at most one
+// live shard exists per shard key.
+func (c *Coordinator) runShard(ctx context.Context, spec YieldSpec, first, last int) ([]int, error) {
+	c.mu.Lock()
+	c.seq++
+	st := &shardState{
+		Shard: Shard{ID: fmt.Sprintf("s%08d", c.seq), Spec: spec, First: first, Last: last},
+		done:  make(chan struct{}),
+	}
+	c.pending = append(c.pending, st)
+	c.byID[st.ID] = st
+	c.wakeLocked()
+	c.mu.Unlock()
+	c.logf("shard %s chunks [%d,%d) of %s queued", st.ID, first, last, spec.Scenario)
+
+	select {
+	case <-st.done:
+		if st.err != nil {
+			return nil, st.err
+		}
+		return st.pass, nil
+	case <-ctx.Done():
+		c.withdraw(st)
+		return nil, ctx.Err()
+	}
+}
+
+// withdraw removes a shard whose job went away. A copy a worker is still
+// executing completes into the void (CompleteShard reports stale).
+func (c *Coordinator) withdraw(st *shardState) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.byID[st.ID]; !ok {
+		return
+	}
+	delete(c.byID, st.ID)
+	for i, p := range c.pending {
+		if p == st {
+			c.pending = append(c.pending[:i], c.pending[i+1:]...)
+			break
+		}
+	}
+}
+
+// LeaseShards implements shardSource: hand out up to max pending shards,
+// re-dispatching expired leases first, long-polling up to leasePollWait
+// when the queue is empty.
+func (c *Coordinator) LeaseShards(ctx context.Context, node string, max int) ([]Shard, time.Duration, error) {
+	if max <= 0 {
+		max = 1
+	}
+	timeout := time.NewTimer(leasePollWait)
+	defer timeout.Stop()
+	for {
+		c.mu.Lock()
+		c.peers[node] = time.Now()
+		c.redispatchExpiredLocked()
+		out := make([]Shard, 0, max)
+		for len(out) < max && len(c.pending) > 0 {
+			st := c.pending[0]
+			c.pending = c.pending[1:]
+			st.leasedTo = node
+			st.deadline = time.Now().Add(c.lease)
+			st.attempts++
+			out = append(out, st.Shard)
+		}
+		wake := c.wake
+		c.mu.Unlock()
+		if len(out) > 0 {
+			c.logf("leased %d shard(s) to %s", len(out), node)
+			return out, c.lease, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, c.lease, ctx.Err()
+		case <-timeout.C:
+			return nil, c.lease, nil
+		case <-wake:
+		}
+	}
+}
+
+// CompleteShard implements shardSource: fold a node's result in, requeue on
+// structural failure (up to maxShardFailures), ignore stale duplicates.
+func (c *Coordinator) CompleteShard(_ context.Context, id string, res ShardResult) error {
+	// Work was burned whether or not the shard is still live; the fleet
+	// counter reflects it either way.
+	if res.Sims > 0 && c.counter != nil {
+		c.counter.Add(res.Sims)
+	}
+	c.mu.Lock()
+	if res.Node != "" {
+		c.peers[res.Node] = time.Now()
+	}
+	st, ok := c.byID[id]
+	if !ok {
+		c.mu.Unlock()
+		c.logf("shard %s completion from %s is stale", id, res.Node)
+		return nil
+	}
+	if res.Error != "" || len(res.Pass) != st.Last-st.First {
+		reason := res.Error
+		if reason == "" {
+			reason = fmt.Sprintf("malformed result: %d counts for %d chunks", len(res.Pass), st.Last-st.First)
+		}
+		st.failures++
+		if st.failures >= maxShardFailures {
+			delete(c.byID, id)
+			st.err = fmt.Errorf("service: shard %s (chunks [%d,%d)) failed %d times, last on %s: %s",
+				id, st.First, st.Last, st.failures, res.Node, reason)
+			c.mu.Unlock()
+			close(st.done)
+			return nil
+		}
+		// Requeue at the front: the failed shard is the oldest work.
+		st.leasedTo = ""
+		st.deadline = time.Time{}
+		c.pending = append([]*shardState{st}, c.pending...)
+		c.wakeLocked()
+		c.mu.Unlock()
+		c.logf("shard %s failed on %s (%s), requeued", id, res.Node, reason)
+		return nil
+	}
+	delete(c.byID, id)
+	st.pass = res.Pass
+	c.mu.Unlock()
+	close(st.done)
+	c.logf("shard %s completed by %s", id, res.Node)
+	return nil
+}
+
+// redispatchExpiredLocked returns expired leases to the head of the queue.
+func (c *Coordinator) redispatchExpiredLocked() {
+	now := time.Now()
+	for _, st := range c.byID {
+		if st.leasedTo != "" && now.After(st.deadline) {
+			c.logf("shard %s lease on %s expired, re-dispatching", st.ID, st.leasedTo)
+			st.leasedTo = ""
+			st.deadline = time.Time{}
+			c.pending = append([]*shardState{st}, c.pending...)
+		}
+	}
+}
+
+// wakeLocked signals long-polling lease calls that pending work appeared.
+func (c *Coordinator) wakeLocked() {
+	close(c.wake)
+	c.wake = make(chan struct{})
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.logger != nil {
+		c.logger.Printf(format, args...)
+	}
+}
+
+// FleetStatus is the /healthz fleet block: the node's role and name, how
+// many distinct peers are active, and — on a coordinator — the shard
+// scheduler's queue and cache state.
+type FleetStatus struct {
+	Role         string `json:"role"`
+	Node         string `json:"node"`
+	Peers        int    `json:"peers"`
+	PendingShards int   `json:"pending_shards,omitempty"`
+	LeasedShards  int   `json:"leased_shards,omitempty"`
+	CachedShards  int   `json:"cached_shards,omitempty"`
+}
+
+// Fleet reports the server's fleet status. Peers counts, for a
+// coordinator, the distinct worker nodes (other than itself) seen leasing
+// or completing within three lease windows; for a worker, its coordinator.
+func (s *Server) Fleet() FleetStatus {
+	fs := FleetStatus{Role: s.role, Node: s.node}
+	if s.cfg.Fleet.Join != "" {
+		fs.Peers = 1
+	}
+	if c := s.coord; c != nil {
+		window := 3 * c.lease
+		now := time.Now()
+		c.mu.Lock()
+		for node, seen := range c.peers {
+			if node != c.node && now.Sub(seen) <= window {
+				fs.Peers++
+			}
+		}
+		fs.PendingShards = len(c.pending)
+		fs.LeasedShards = len(c.byID) - len(c.pending)
+		c.mu.Unlock()
+		fs.CachedShards = c.cache.Len()
+	}
+	return fs
+}
+
+// BackendName reports which executor yield jobs run on ("local",
+// "coordinator", or an injected backend's name).
+func (s *Server) BackendName() string { return s.backend.Name() }

@@ -1,0 +1,118 @@
+// Shard execution: the node side of the distributed yield fleet.
+//
+// One loop — runShardWorker — serves both deployment shapes. A coordinator
+// that keeps self-work enabled runs it in-process against its own
+// *Coordinator (so a one-process fleet still completes jobs), and a worker
+// node runs it against a *Client pointed at the coordinator; the loop only
+// sees the shardSource pull protocol.
+package service
+
+import (
+	"context"
+	"errors"
+	"log"
+	"time"
+
+	"github.com/eda-go/moheco/internal/yieldsim"
+)
+
+// runShardWorker pulls shards from src and executes them until ctx ends.
+// counter, when non-nil, receives the node's own simulator invocations (a
+// remote worker's /healthz feed); the coordinator's fleet-wide count is fed
+// separately from the reported ShardResult.Sims, so the in-process
+// self-runner passes nil to avoid double counting.
+func runShardWorker(ctx context.Context, src shardSource, node string, workers int, counter *yieldsim.Counter, logger *log.Logger) {
+	backoff := time.Duration(0)
+	for ctx.Err() == nil {
+		shards, _, err := src.LeaseShards(ctx, node, 1)
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			// Lease failures are transport trouble (coordinator restarting,
+			// network blip): back off and keep pulling — the lease protocol
+			// makes a vanished worker harmless, so a flaky one is too.
+			if backoff == 0 {
+				backoff = 200 * time.Millisecond
+			} else if backoff *= 2; backoff > 5*time.Second {
+				backoff = 5 * time.Second
+			}
+			if logger != nil {
+				logger.Printf("worker %s: lease failed (%v), retrying in %s", node, err, backoff)
+			}
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(backoff):
+			}
+			continue
+		}
+		backoff = 0
+		for _, sh := range shards {
+			res := executeShard(ctx, sh, node, workers, counter)
+			if ctx.Err() != nil && res.Error != "" {
+				// Shutdown mid-shard: report nothing and let the lease
+				// expire — a cancellation error must not burn the shard's
+				// failure budget.
+				return
+			}
+			if err := src.CompleteShard(ctx, sh.ID, res); err != nil && logger != nil {
+				logger.Printf("worker %s: completing shard %s failed: %v", node, sh.ID, err)
+			}
+		}
+	}
+}
+
+// executeShard evaluates one shard's chunk range and packages the result.
+// Errors travel in the result rather than aborting the loop: the
+// coordinator owns the retry policy.
+func executeShard(ctx context.Context, sh Shard, node string, workers int, counter *yieldsim.Counter) ShardResult {
+	res := ShardResult{Node: node}
+	p, smp, err := sh.Spec.instantiate()
+	if err != nil {
+		res.Error = err.Error()
+		return res
+	}
+	// Sims are tallied privately and reported in the result so the
+	// coordinator can count work from nodes it does not share memory with.
+	var sims yieldsim.Counter
+	counts, err := yieldsim.ChunkPass(ctx, p, sh.Spec.X, sh.Spec.N, sh.Spec.Seed, sh.First, sh.Last, yieldsim.RefOptions{
+		Workers: workers,
+		Sampler: smp,
+		Counter: &sims,
+	})
+	res.Sims = sims.Total()
+	if counter != nil {
+		counter.Add(res.Sims)
+	}
+	if err != nil {
+		res.Error = err.Error()
+		return res
+	}
+	res.Pass = counts
+	return res
+}
+
+// Worker joins a remote coordinator's fleet: it pulls shards over HTTP,
+// executes them on the local worker pool, and reports counts back. It is
+// started by New when Config.Fleet.Join is set.
+type Worker struct {
+	Client  *Client
+	Node    string
+	Workers int
+	Counter *yieldsim.Counter
+	Log     *log.Logger
+}
+
+// Run pulls and executes shards until ctx ends. It returns only on
+// cancellation — a coordinator outage is ridden out by the lease loop's
+// backoff, not surfaced.
+func (w *Worker) Run(ctx context.Context) {
+	if w.Log != nil {
+		w.Log.Printf("worker %s: joining fleet at %s", w.Node, w.Client.Endpoints())
+	}
+	runShardWorker(ctx, w.Client, w.Node, w.Workers, w.Counter, w.Log)
+	if w.Log != nil && !errors.Is(ctx.Err(), nil) {
+		w.Log.Printf("worker %s: stopped", w.Node)
+	}
+}

@@ -322,10 +322,126 @@ func norm2(v []float64) float64 {
 	return math.Sqrt(s)
 }
 
-// refChunk is the fixed reference-estimator chunk size. Each chunk owns a
+// ChunkSize is the fixed reference-estimator chunk size. Each chunk owns a
 // seed derived from its index, so the estimate depends only on (seed, n) —
-// never on the worker count or the machine's GOMAXPROCS.
-const refChunk = 2048
+// never on the worker count, the machine's GOMAXPROCS, or which process
+// (or which node of a fleet) evaluates the chunk. It is the unit the
+// distributed yield service shards on: any partition of the chunk index
+// space, evaluated anywhere, merges back to the bit-identical estimate.
+const ChunkSize = 2048
+
+// ChunkRange identifies one fixed chunk of an n-sample reference stream:
+// chunk Index covers sample indices [Lo, Hi) and draws its points from a
+// private stream seeded with randx.DeriveSeed(seed, Index). Every chunk
+// except possibly the last holds exactly ChunkSize samples, so a chunk's
+// contents depend on n only through Hi — full chunks are identical across
+// different total sample counts, which is what makes cross-estimate shard
+// reuse sound.
+type ChunkRange struct {
+	Index  int
+	Lo, Hi int
+}
+
+// NumChunks returns the number of fixed chunks an n-sample reference
+// estimate is partitioned into.
+func NumChunks(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (n + ChunkSize - 1) / ChunkSize
+}
+
+// Chunks returns the full fixed-chunk partition of an n-sample reference
+// estimate, in chunk-index order.
+func Chunks(n int) []ChunkRange {
+	out := make([]ChunkRange, NumChunks(n))
+	for i := range out {
+		out[i] = Chunk(n, i)
+	}
+	return out
+}
+
+// Chunk returns chunk ci of the n-sample partition.
+func Chunk(n, ci int) ChunkRange {
+	lo := ci * ChunkSize
+	hi := lo + ChunkSize
+	if hi > n {
+		hi = n
+	}
+	return ChunkRange{Index: ci, Lo: lo, Hi: hi}
+}
+
+// ChunkPass evaluates chunks [first, last) of the (p, x, n, seed, sampler)
+// reference stream and returns the per-chunk passing-sample counts, indexed
+// relative to first. It is the body of ReferenceCtx exposed at shard
+// granularity: a fleet worker evaluates its assigned chunk range with this,
+// and the coordinator merges the integer counts with MergePass — integer
+// addition is exact, so the sharded estimate is bit-for-bit the single-node
+// one no matter how the chunk space is partitioned or where each shard
+// runs. Cancellation and accounting follow ReferenceCtx: the Counter
+// advances chunk by chunk as chunks complete, and a structurally failed
+// chunk counts nothing.
+func ChunkPass(ctx context.Context, p problem.Problem, x []float64, n int, seed uint64, first, last int, o RefOptions) ([]int, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("yieldsim: reference sample count %d", n)
+	}
+	if first < 0 || last < first || last > NumChunks(n) {
+		return nil, fmt.Errorf("yieldsim: chunk range [%d, %d) outside [0, %d)", first, last, NumChunks(n))
+	}
+	sampler := o.Sampler
+	if sampler == nil {
+		sampler = sample.PMC{}
+	}
+	var (
+		progressMu sync.Mutex
+		doneCum    int64
+		passCum    int64
+	)
+	return engine.MapCtx(ctx, o.Workers, last-first, func(i int) (int, error) {
+		cr := Chunk(n, first+i)
+		rng := randx.New(randx.DeriveSeed(seed, uint64(cr.Index)))
+		pts := sampler.Draw(rng, cr.Hi-cr.Lo, p.VarDim())
+		// One batch evaluation per chunk: a BatchEvaluator problem keeps
+		// its compiled per-design state (and Newton warm starts) alive
+		// across the whole chunk; per-sample errors are failed chips.
+		ok, _, err := problem.PassFailBatch(p, x, pts)
+		if err != nil {
+			// A structurally failed chunk's results are untrustworthy, so its
+			// samples are not counted as simulations.
+			return 0, err
+		}
+		if o.Counter != nil {
+			o.Counter.Add(int64(cr.Hi - cr.Lo))
+		}
+		pass := 0
+		for _, v := range ok {
+			if v {
+				pass++
+			}
+		}
+		if o.Progress != nil {
+			progressMu.Lock()
+			doneCum += int64(cr.Hi - cr.Lo)
+			passCum += int64(pass)
+			o.Progress(doneCum, passCum)
+			progressMu.Unlock()
+		}
+		return pass, nil
+	})
+}
+
+// MergePass folds per-chunk passing-sample counts (chunk-index order) of a
+// complete n-sample partition into the final yield estimate. The counts are
+// integers, so the fold is exact and the result equals ReferenceCtx's for
+// the same chunks regardless of how they were grouped into shards or which
+// node evaluated each one.
+func MergePass(counts []int, n int) float64 {
+	pass := 0
+	for _, p := range counts {
+		pass += p
+	}
+	return float64(pass) / float64(n)
+}
 
 // Reference computes a high-accuracy plain-MC yield estimate (the paper's
 // 50,000-sample analysis) using all available cores. It bypasses acceptance
@@ -355,7 +471,7 @@ type RefOptions struct {
 	// analysis ReferenceWorkers runs). Stratified plans (LHS, Halton)
 	// stratify within each fixed-size chunk — the estimate stays unbiased
 	// and deterministic for a given (seed, n), it just scopes the variance
-	// reduction to refChunk-sample blocks.
+	// reduction to ChunkSize-sample blocks.
 	Sampler sample.Sampler
 	// Counter, when non-nil, is incremented chunk by chunk as chunks
 	// complete, so a cancelled run's accounting reflects the work actually
@@ -379,60 +495,9 @@ type RefOptions struct {
 // the simulator finish first, so the simulation counter stops advancing
 // within one chunk per worker.
 func ReferenceCtx(ctx context.Context, p problem.Problem, x []float64, n int, seed uint64, o RefOptions) (float64, int, error) {
-	if n <= 0 {
-		return 0, 0, fmt.Errorf("yieldsim: reference sample count %d", n)
-	}
-	sampler := o.Sampler
-	if sampler == nil {
-		sampler = sample.PMC{}
-	}
-	var (
-		progressMu sync.Mutex
-		doneCum    int64
-		passCum    int64
-	)
-	chunks := (n + refChunk - 1) / refChunk
-	passTotals, err := engine.MapCtx(ctx, o.Workers, chunks, func(ci int) (int, error) {
-		lo := ci * refChunk
-		hi := lo + refChunk
-		if hi > n {
-			hi = n
-		}
-		rng := randx.New(randx.DeriveSeed(seed, uint64(ci)))
-		pts := sampler.Draw(rng, hi-lo, p.VarDim())
-		// One batch evaluation per chunk: a BatchEvaluator problem keeps
-		// its compiled per-design state (and Newton warm starts) alive
-		// across the whole chunk; per-sample errors are failed chips.
-		ok, _, err := problem.PassFailBatch(p, x, pts)
-		if err != nil {
-			// A structurally failed chunk's results are untrustworthy, so its
-			// samples are not counted as simulations.
-			return 0, err
-		}
-		if o.Counter != nil {
-			o.Counter.Add(int64(hi - lo))
-		}
-		pass := 0
-		for _, v := range ok {
-			if v {
-				pass++
-			}
-		}
-		if o.Progress != nil {
-			progressMu.Lock()
-			doneCum += int64(hi - lo)
-			passCum += int64(pass)
-			o.Progress(doneCum, passCum)
-			progressMu.Unlock()
-		}
-		return pass, nil
-	})
+	counts, err := ChunkPass(ctx, p, x, n, seed, 0, NumChunks(n), o)
 	if err != nil {
 		return 0, 0, err
 	}
-	pass := 0
-	for _, p := range passTotals {
-		pass += p
-	}
-	return float64(pass) / float64(n), n, nil
+	return MergePass(counts, n), n, nil
 }
