@@ -6,14 +6,20 @@
 // Usage:
 //
 //	mohecod [-addr :8650] [-workers N] [-jobs N] [-cache N] [-queue N] [-quiet]
-//	        [-coordinator] [-join URL[,URL...]] [-node NAME] [-lease DUR]
-//	        [-shard N] [-no-self-work]
+//	        [-coordinator] [-join URL[,URL...]] [-node NAME] [-advertise URL]
+//	        [-lease DUR] [-heartbeat DUR] [-shard N] [-no-self-work]
+//	        [-drain DUR]
 //
 // Fleet mode: `-coordinator` makes the daemon split yield jobs into
 // deterministic chunk-range shards and serve them to pull-based workers on
 // /v1/shards; `-join` makes it a worker of the coordinator at URL (while
-// still answering its own API locally). Sharded results are bit-identical
-// to single-node runs — see DESIGN.md, "Distributed fleet".
+// still answering its own API locally). A worker that also passes
+// `-advertise` with its own reachable URL receives replicated fleet state
+// and stands in the hand-off election should the coordinator die — the
+// surviving node with the lowest name promotes itself and resumes
+// unfinished jobs. Sharded results are bit-identical to single-node runs,
+// hand-off or not — see DESIGN.md, "Distributed fleet" and "Failure
+// model".
 //
 // Endpoints (see internal/service):
 //
@@ -28,8 +34,11 @@
 //
 // Served results are bit-identical to the local CLIs at the same request:
 // `yieldest -server` and `mohecorun -server` run against a shared daemon
-// with no change in output. SIGINT/SIGTERM shut the daemon down cleanly,
-// cancelling in-flight jobs (exit code 0).
+// with no change in output. SIGINT/SIGTERM shut the daemon down cleanly
+// (exit code 0): a fleet node first drains — stops leasing new shards,
+// finishes and reports the shards it holds, deregisters from its
+// coordinator so the peer table drops it immediately — then cancels its
+// own jobs and exits. `-drain` bounds the drain wait.
 package main
 
 import (
@@ -61,9 +70,12 @@ func main() {
 		coordinator = flag.Bool("coordinator", false, "schedule yield jobs as fleet shards served on /v1/shards")
 		join        = flag.String("join", "", "coordinator URL(s, comma-separated failover list) to join as a worker")
 		node        = flag.String("node", "", "this node's fleet name (default <role>-<pid>)")
+		advertise   = flag.String("advertise", "", "URL peers reach this node at; makes a worker electable for coordinator hand-off")
 		lease       = flag.Duration("lease", 0, "shard lease before re-dispatch to a surviving node (0 = 15s)")
+		heartbeat   = flag.Duration("heartbeat", 0, "worker heartbeat period (0 = 2s)")
 		shard       = flag.Int("shard", 0, "target shard size in samples, rounded up to whole chunks (0 = 8192)")
 		noSelfWork  = flag.Bool("no-self-work", false, "coordinator only dispatches, never executes shards itself")
+		drain       = flag.Duration("drain", 30*time.Second, "max wait for in-flight shards to finish on SIGTERM")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: mohecod [flags]\n\n")
@@ -87,7 +99,9 @@ func main() {
 			Coordinator:  *coordinator,
 			Join:         *join,
 			Node:         *node,
+			AdvertiseURL: *advertise,
 			Lease:        *lease,
+			Heartbeat:    *heartbeat,
 			ShardSamples: *shard,
 			NoSelfWork:   *noSelfWork,
 		},
@@ -120,7 +134,17 @@ func main() {
 	case <-ctx.Done():
 	}
 	logger.Printf("shutting down")
-	// Close the service first: it cancels every live job, which unblocks
+	// Drain the fleet side first: stop leasing new shards, let the shards
+	// this node holds finish and report their counts (abandoning them would
+	// only cost the fleet a lease-expiry wait, but finishing is free work),
+	// and deregister from the coordinator so a clean exit does not read as
+	// a crash. Single-node servers drain instantly.
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), *drain)
+	if err := svc.Drain(drainCtx); err != nil {
+		logger.Printf("drain: %v", err)
+	}
+	cancelDrain()
+	// Then close the service: it cancels every live job, which unblocks
 	// ?wait long-polls and ends SSE streams, so the HTTP drain below does
 	// not sit on open streams until its deadline.
 	svc.Close()

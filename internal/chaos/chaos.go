@@ -1,0 +1,290 @@
+// Package chaos is deterministic fault injection for the fleet tests: a
+// seeded schedule of per-endpoint faults (drop, delay, sever) applied
+// through an instrumented http.RoundTripper, plus counter triggers that
+// fire an action at a deterministic point in the schedule
+// (kill-the-coordinator-at-shard-N style scenarios).
+//
+// # Determinism contract
+//
+// The fleet's own contract — fixed seed ⇒ bit-identical float64 — is what
+// makes chaos testing tractable: any divergence under injected faults is a
+// bug, not noise. The injector holds up its half of that bargain: every
+// probabilistic decision of a rule is drawn from that rule's own RNG,
+// seeded from (schedule seed, rule index), so the n-th match of a rule
+// receives the same verdict no matter how concurrent requests interleave
+// between rules. Replaying a test with the same chaos seed replays the
+// same per-rule fault sequence. Counter-based windows (After/Count) are
+// exact, not sampled, so "sever the coordinator from lease 3 onward" means
+// precisely that.
+//
+// # Isolation
+//
+// Production code never imports this package (isolation_test.go pins
+// that). Faults enter through seams the service exposes anyway — the
+// outbound-transport override and the scheduler hooks — both of which are
+// nil checks when unused, so a fleet without chaos pays nothing.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Action is what the injector does to a matched request.
+type Action int
+
+const (
+	// Pass lets the request through unharmed.
+	Pass Action = iota
+	// Drop fails the request with an injected connection error without it
+	// ever reaching the wire — what a severed link or a dead process looks
+	// like to the client.
+	Drop
+	// Delay holds the request for the rule's delay, then lets it through —
+	// a slow peer or a congested link.
+	Delay
+)
+
+// String names the action for event logs and test failures.
+func (a Action) String() string {
+	switch a {
+	case Pass:
+		return "pass"
+	case Drop:
+		return "drop"
+	case Delay:
+		return "delay"
+	}
+	return fmt.Sprintf("action(%d)", int(a))
+}
+
+// Rule is one fault in the schedule. A request matches when every non-zero
+// selector matches; the first matching rule whose window and probability
+// admit the request decides its fate, so order rules specific-first.
+type Rule struct {
+	// Name labels the rule in events and logs.
+	Name string
+	// Host selects requests whose URL host contains this substring
+	// ("" = any). Endpoints are host:port strings, so a port substring
+	// pins one node of an in-process fleet.
+	Host string
+	// Path selects requests whose URL path contains this substring
+	// ("" = any) — "/v1/shards/lease" severs the lease long-poll while
+	// heartbeats still flow, and vice versa.
+	Path string
+	// Method selects the HTTP method exactly ("" = any).
+	Method string
+	// After skips the first After matching requests — the fault arms
+	// itself at a deterministic point in the request stream.
+	After int
+	// Count bounds how many requests the armed rule faults (0 =
+	// unlimited). After+Count==armed window; a Drop with Count 0 is a
+	// sever: everything from the trigger onward fails.
+	Count int
+	// Prob gates each in-window request through the rule's seeded RNG
+	// (0 or >=1 = always). Draws are per-rule, so the decision sequence
+	// is a pure function of (seed, rule index).
+	Prob float64
+	// Act is the fault applied to admitted requests.
+	Act Action
+	// Delay is the hold time for Act==Delay. When MaxDelay > Delay the
+	// hold is drawn uniformly from [Delay, MaxDelay) on the rule's RNG.
+	Delay    time.Duration
+	MaxDelay time.Duration
+}
+
+// Event is one injector decision, recorded in schedule order per rule.
+type Event struct {
+	Rule   string
+	Method string
+	Host   string
+	Path   string
+	Act    Action
+	Delay  time.Duration
+}
+
+// Decision is the verdict for one request.
+type Decision struct {
+	Act   Action
+	Delay time.Duration
+	Rule  string
+}
+
+type ruleState struct {
+	Rule
+	rng     *rand.Rand
+	matched int // requests that matched the selectors
+	applied int // requests the armed rule faulted
+}
+
+// Injector evaluates requests against a seeded fault schedule.
+type Injector struct {
+	mu     sync.Mutex
+	rules  []*ruleState
+	events []Event
+}
+
+// New builds an injector for the given schedule. Each rule draws from its
+// own RNG seeded by (seed, rule index), which is what keeps per-rule fault
+// sequences reproducible under concurrent request interleavings.
+func New(seed int64, rules ...Rule) *Injector {
+	in := &Injector{}
+	for i, r := range rules {
+		in.rules = append(in.rules, &ruleState{
+			Rule: r,
+			rng:  rand.New(rand.NewSource(seed ^ (int64(i+1) * 0x5851f42d4c957f2d))),
+		})
+	}
+	return in
+}
+
+// Decide evaluates one request against the schedule: the first rule whose
+// selectors match, whose After/Count window admits the request, and whose
+// probability draw comes up faulty wins. Every non-Pass decision is
+// recorded as an event.
+func (in *Injector) Decide(method, host, path string) Decision {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, r := range in.rules {
+		if r.Host != "" && !strings.Contains(host, r.Host) {
+			continue
+		}
+		if r.Path != "" && !strings.Contains(path, r.Path) {
+			continue
+		}
+		if r.Method != "" && method != r.Method {
+			continue
+		}
+		n := r.matched
+		r.matched++
+		if n < r.After {
+			continue
+		}
+		if r.Count > 0 && r.applied >= r.Count {
+			continue
+		}
+		// The draw happens for every in-window match — even the ones that
+		// pass — so the verdict of match n is independent of other rules
+		// and of request interleaving.
+		if r.Prob > 0 && r.Prob < 1 && r.rng.Float64() >= r.Prob {
+			continue
+		}
+		d := Decision{Act: r.Act, Rule: r.Name}
+		if r.Act == Delay {
+			d.Delay = r.Rule.Delay
+			if r.MaxDelay > r.Rule.Delay {
+				d.Delay += time.Duration(r.rng.Int63n(int64(r.MaxDelay - r.Rule.Delay)))
+			}
+		}
+		r.applied++
+		in.events = append(in.events, Event{
+			Rule: r.Name, Method: method, Host: host, Path: path, Act: d.Act, Delay: d.Delay,
+		})
+		return d
+	}
+	return Decision{Act: Pass}
+}
+
+// Events returns a copy of the non-Pass decisions so far, in the order
+// they were made.
+func (in *Injector) Events() []Event {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]Event(nil), in.events...)
+}
+
+// InjectedError is the failure a dropped request surfaces — it reads as
+// connection trouble to any client, which is the point.
+type InjectedError struct {
+	Rule string
+	URL  string
+}
+
+func (e *InjectedError) Error() string {
+	return fmt.Sprintf("chaos: injected connection failure (rule %q) for %s", e.Rule, e.URL)
+}
+
+// Timeout and Temporary make the error quack like a net.Error, matching
+// what a real severed connection reports.
+func (e *InjectedError) Timeout() bool   { return false }
+func (e *InjectedError) Temporary() bool { return true }
+
+// Transport wraps base (nil = http.DefaultTransport) with the injector:
+// every outbound request is decided before it touches the wire. Dropped
+// requests fail with an *InjectedError; delayed requests hold for the
+// drawn duration (bounded by the request context) and then proceed.
+func (in *Injector) Transport(base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &transport{in: in, base: base}
+}
+
+type transport struct {
+	in   *Injector
+	base http.RoundTripper
+}
+
+func (t *transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	d := t.in.Decide(req.Method, req.URL.Host, req.URL.Path)
+	switch d.Act {
+	case Drop:
+		return nil, &InjectedError{Rule: d.Rule, URL: req.URL.String()}
+	case Delay:
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-time.After(d.Delay):
+		}
+	}
+	return t.base.RoundTrip(req)
+}
+
+// Trigger fires fn exactly once, on the n-th Hit (1-based). It is the
+// kill-process-at-shard-N primitive: wire Hit into a scheduler hook
+// (e.g. service.Hooks.ShardLeased) and fn into whatever "kill" means for
+// the test — closing a listener, cancelling a server. The n-th hook call
+// is a deterministic point in the schedule, so the same scenario kills at
+// the same moment every run.
+type Trigger struct {
+	mu    sync.Mutex
+	n     int
+	count int
+	fired bool
+	fn    func()
+}
+
+// At builds a trigger firing fn on the n-th Hit.
+func At(n int, fn func()) *Trigger {
+	if n < 1 {
+		n = 1
+	}
+	return &Trigger{n: n, fn: fn}
+}
+
+// Hit advances the trigger; the n-th call runs fn (in its own goroutine,
+// so a hook caller holding scheduler locks cannot deadlock against the
+// teardown it is triggering).
+func (t *Trigger) Hit() {
+	t.mu.Lock()
+	t.count++
+	fire := !t.fired && t.count >= t.n
+	if fire {
+		t.fired = true
+	}
+	t.mu.Unlock()
+	if fire {
+		go t.fn()
+	}
+}
+
+// Fired reports whether the trigger has gone off.
+func (t *Trigger) Fired() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.fired
+}

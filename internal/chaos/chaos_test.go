@@ -1,0 +1,144 @@
+package chaos
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestSameSeedSameSchedule is the package's contract: two injectors with
+// the same seed and the same request stream make identical decisions —
+// including the probabilistic ones — and record identical event logs.
+func TestSameSeedSameSchedule(t *testing.T) {
+	rules := []Rule{
+		{Name: "flaky-lease", Path: "/v1/shards/lease", Prob: 0.5, Act: Drop},
+		{Name: "slow-complete", Path: "/complete", After: 2, Prob: 0.7, Act: Delay, Delay: time.Millisecond, MaxDelay: 5 * time.Millisecond},
+		{Name: "sever-coord", Host: ":8650", After: 4, Act: Drop},
+	}
+	reqs := []struct{ method, host, path string }{}
+	for i := 0; i < 40; i++ {
+		switch i % 4 {
+		case 0:
+			reqs = append(reqs, struct{ method, host, path string }{"POST", "127.0.0.1:8650", "/v1/shards/lease"})
+		case 1:
+			reqs = append(reqs, struct{ method, host, path string }{"POST", "127.0.0.1:8650", "/v1/shards/s01/complete"})
+		case 2:
+			reqs = append(reqs, struct{ method, host, path string }{"GET", "127.0.0.1:8651", "/healthz"})
+		case 3:
+			reqs = append(reqs, struct{ method, host, path string }{"POST", "127.0.0.1:8651", "/v1/fleet/heartbeat"})
+		}
+	}
+	run := func(seed int64) ([]Decision, []Event) {
+		in := New(seed, rules...)
+		var ds []Decision
+		for _, r := range reqs {
+			ds = append(ds, in.Decide(r.method, r.host, r.path))
+		}
+		return ds, in.Events()
+	}
+	d1, e1 := run(7)
+	d2, e2 := run(7)
+	if !reflect.DeepEqual(d1, d2) {
+		t.Fatalf("same seed, different decisions:\n%v\n%v", d1, d2)
+	}
+	if !reflect.DeepEqual(e1, e2) {
+		t.Fatalf("same seed, different event logs:\n%v\n%v", e1, e2)
+	}
+	d3, _ := run(8)
+	if reflect.DeepEqual(d1, d3) {
+		t.Fatal("different seeds produced identical probabilistic schedules — rng not wired in")
+	}
+	// The deterministic parts must not vary with the seed: sever-coord
+	// drops every :8650 request from its 5th match onward in both runs.
+	severed := 0
+	for _, e := range e1 {
+		if e.Rule == "sever-coord" {
+			severed++
+		}
+	}
+	if severed == 0 {
+		t.Fatal("sever rule never fired")
+	}
+}
+
+// TestWindows pins the After/Count arithmetic: a rule faults exactly the
+// requests in its [After, After+Count) match window.
+func TestWindows(t *testing.T) {
+	in := New(1, Rule{Name: "w", Path: "/x", After: 2, Count: 3, Act: Drop})
+	var acts []Action
+	for i := 0; i < 8; i++ {
+		acts = append(acts, in.Decide("GET", "h", "/x").Act)
+	}
+	want := []Action{Pass, Pass, Drop, Drop, Drop, Pass, Pass, Pass}
+	if !reflect.DeepEqual(acts, want) {
+		t.Fatalf("window acts = %v, want %v", acts, want)
+	}
+	// Non-matching paths never advance the window.
+	in2 := New(1, Rule{Name: "w", Path: "/x", After: 1, Act: Drop})
+	if d := in2.Decide("GET", "h", "/other"); d.Act != Pass {
+		t.Fatalf("non-match decided %v", d.Act)
+	}
+	if d := in2.Decide("GET", "h", "/x"); d.Act != Pass {
+		t.Fatalf("first match decided %v, want pass (After=1)", d.Act)
+	}
+	if d := in2.Decide("GET", "h", "/x"); d.Act != Drop {
+		t.Fatalf("armed match decided %v, want drop", d.Act)
+	}
+}
+
+// TestTransport exercises the RoundTripper: dropped requests fail with an
+// InjectedError without reaching the server, severed-from-N schedules cut
+// a live server off mid-conversation, and passes flow through.
+func TestTransport(t *testing.T) {
+	hits := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+
+	in := New(3, Rule{Name: "sever", Path: "/gone", After: 1, Act: Drop})
+	client := &http.Client{Transport: in.Transport(nil)}
+
+	if resp, err := client.Get(ts.URL + "/gone"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("first request should pass: %v %v", resp, err)
+	}
+	if _, err := client.Get(ts.URL + "/gone"); err == nil {
+		t.Fatal("severed request succeeded")
+	}
+	if _, err := client.Get(ts.URL + "/ok"); err != nil {
+		t.Fatalf("unmatched path dropped: %v", err)
+	}
+	if hits != 2 {
+		t.Fatalf("server saw %d requests, want 2 (drop must not reach the wire)", hits)
+	}
+	evs := in.Events()
+	if len(evs) != 1 || evs[0].Rule != "sever" || evs[0].Act != Drop {
+		t.Fatalf("events = %v", evs)
+	}
+}
+
+// TestTrigger pins the kill-at-N primitive: exactly one firing, on the
+// n-th hit.
+func TestTrigger(t *testing.T) {
+	fired := make(chan struct{}, 2)
+	tr := At(3, func() { fired <- struct{}{} })
+	for i := 0; i < 5; i++ {
+		tr.Hit()
+	}
+	select {
+	case <-fired:
+	case <-time.After(time.Second):
+		t.Fatal("trigger never fired")
+	}
+	select {
+	case <-fired:
+		t.Fatal("trigger fired twice")
+	case <-time.After(50 * time.Millisecond):
+	}
+	if !tr.Fired() {
+		t.Fatal("Fired() false after firing")
+	}
+}

@@ -130,6 +130,20 @@ func (c *lruCache[V]) Put(key string, v V) {
 	c.evictLocked()
 }
 
+// Items returns a snapshot of the completed entries — the replication
+// path's view of the cache (in-flight computations are a scheduler's
+// private business and are not replicated).
+func (c *lruCache[V]) Items() map[string]V {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]V, c.order.Len())
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*cacheEntry[V])
+		out[e.key] = e.val
+	}
+	return out
+}
+
 // Len returns the number of completed entries.
 func (c *lruCache[V]) Len() int {
 	c.mu.Lock()

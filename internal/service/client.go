@@ -9,6 +9,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -52,7 +53,33 @@ const (
 	clientRetryBase = 200 * time.Millisecond
 	clientRetryCap  = 3 * time.Second
 	clientRetryMax  = 5 // attempts per request before surfacing the error
+	// clientAttemptBudget caps the *retries after transient failures* one
+	// logical call spends across all its layers combined — endpoint
+	// failover, job polls, resubmits after a lost endpoint. Successful
+	// requests are free (a long job legitimately polls for hours); only
+	// failure-driven retries are metered, because per-layer retry limits
+	// multiply and the budget keeps a fully-down fleet failing in bounded
+	// time instead of the product of every layer's patience.
+	clientAttemptBudget = 12
 )
+
+// errBudget marks a logical call that ran out of its attempt budget.
+var errBudget = errors.New("service: retry attempt budget exhausted")
+
+// attemptBudget meters one logical call's failure-driven retries. Not safe
+// for concurrent use; each call carries its own.
+type attemptBudget struct{ left int }
+
+func newAttemptBudget() *attemptBudget { return &attemptBudget{left: clientAttemptBudget} }
+
+// spend consumes one retry, reporting false once the budget is gone.
+func (b *attemptBudget) spend() bool {
+	if b.left <= 0 {
+		return false
+	}
+	b.left--
+	return true
+}
 
 // NewClient returns a client for the daemon at base — a single URL or a
 // comma-separated failover list.
@@ -157,6 +184,26 @@ func (c *Client) CompleteShard(ctx context.Context, id string, res ShardResult) 
 	return c.do(ctx, http.MethodPost, "/v1/shards/"+id+"/complete", res, nil)
 }
 
+// Heartbeat announces a fleet node's liveness to its coordinator and
+// returns the live-peer table. It is a single attempt with no internal
+// retries: the caller's missed-heartbeat counting *is* the retry policy,
+// and masking failures here would delay dead-coordinator detection by the
+// whole retry schedule.
+func (c *Client) Heartbeat(ctx context.Context, req HeartbeatRequest) (*HeartbeatResponse, error) {
+	eps := c.eps()
+	var resp HeartbeatResponse
+	if err := c.once(ctx, eps[c.preferred()%len(eps)], http.MethodPost, "/v1/fleet/heartbeat", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Replicate pushes replicated fleet state (job specs, results, shard
+// counts) to the peer this client points at.
+func (c *Client) Replicate(ctx context.Context, req ReplicateRequest) error {
+	return c.do(ctx, http.MethodPost, "/v1/fleet/replicate", req, nil)
+}
+
 // errJobLost marks a pinned endpoint that stopped answering (or forgot the
 // job) mid-wait; submitAndAwait reacts by resubmitting on the survivors.
 var errJobLost = errors.New("service: job endpoint lost")
@@ -167,11 +214,14 @@ func (c *Client) submitAndAwait(ctx context.Context, path string, req any) (*Sta
 	// is free again, so a resubmit runs fresh), and a pinned endpoint dying
 	// mid-wait (the job ID means nothing elsewhere, so a resubmit on a
 	// surviving endpoint is the failover path; the canonical-key cache makes
-	// it cheap when the work already completed).
-	budget := 1 + len(c.eps())
+	// it cheap when the work already completed). One attempt budget spans
+	// the whole logical call — submit, polls, and every resubmit draw from
+	// the same pool, so layered retries cannot multiply.
+	resubmits := 1 + len(c.eps())
+	b := newAttemptBudget()
 	for attempt := 0; ; attempt++ {
-		st, err := c.submitAndAwaitOnce(ctx, path, req)
-		if err == nil || ctx.Err() != nil || attempt >= budget {
+		st, err := c.submitAndAwaitOnce(ctx, b, path, req)
+		if err == nil || ctx.Err() != nil || attempt >= resubmits || errors.Is(err, errBudget) {
 			return st, err
 		}
 		lost := errors.Is(err, errJobLost)
@@ -182,9 +232,9 @@ func (c *Client) submitAndAwait(ctx context.Context, path string, req any) (*Sta
 	}
 }
 
-func (c *Client) submitAndAwaitOnce(ctx context.Context, path string, req any) (*Status, error) {
+func (c *Client) submitAndAwaitOnce(ctx context.Context, b *attemptBudget, path string, req any) (*Status, error) {
 	var st Status
-	ep, err := c.doFailover(ctx, http.MethodPost, path, req, &st)
+	ep, err := c.doFailover(ctx, b, http.MethodPost, path, req, &st)
 	if err != nil {
 		return nil, err
 	}
@@ -197,11 +247,14 @@ func (c *Client) submitAndAwaitOnce(ctx context.Context, path string, req any) (
 			c.abandon(ep, &st, cached)
 			return nil, err
 		}
-		next, err := c.poll(ctx, ep, st.ID)
+		next, err := c.poll(ctx, b, ep, st.ID)
 		if err != nil {
 			if ctx.Err() != nil {
 				c.abandon(ep, &st, cached)
 				return nil, ctx.Err()
+			}
+			if errors.Is(err, errBudget) {
+				return nil, err
 			}
 			// The pinned endpoint is gone (retries exhausted) or restarted
 			// without the job: fail over by resubmitting.
@@ -221,9 +274,9 @@ func (c *Client) submitAndAwaitOnce(ctx context.Context, path string, req any) (
 
 // poll long-polls the job for up to 10s server-side on its pinned endpoint;
 // the request context still bounds the whole call.
-func (c *Client) poll(ctx context.Context, ep, id string) (*Status, error) {
+func (c *Client) poll(ctx context.Context, b *attemptBudget, ep, id string) (*Status, error) {
 	var st Status
-	if err := c.doPinned(ctx, ep, http.MethodGet, "/v1/jobs/"+id+"?wait=10s", nil, &st); err != nil {
+	if err := c.doPinned(ctx, b, ep, http.MethodGet, "/v1/jobs/"+id+"?wait=10s", nil, &st); err != nil {
 		return nil, err
 	}
 	return &st, nil
@@ -242,15 +295,19 @@ func (c *Client) abandon(ep string, st *Status, cached bool) {
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel()
 	var out Status
-	_ = c.doPinned(ctx, ep, http.MethodDelete, "/v1/jobs/"+st.ID, nil, &out)
+	_ = c.doPinned(ctx, newAttemptBudget(), ep, http.MethodDelete, "/v1/jobs/"+st.ID, nil, &out)
 }
 
 // statusError is an HTTP error response; codes >= 500 are transient.
+// retryAfter carries the server's Retry-After header (0 = none): the
+// server knows when its condition clears (queue drainage, restart), so the
+// advertised wait overrides a shorter computed backoff.
 type statusError struct {
-	code   int
-	method string
-	path   string
-	msg    string
+	code       int
+	method     string
+	path       string
+	msg        string
+	retryAfter time.Duration
 }
 
 func (e *statusError) Error() string {
@@ -273,15 +330,16 @@ func transient(err error) bool {
 	return true
 }
 
-// do performs a request with retry and endpoint failover.
+// do performs a request with retry and endpoint failover under a fresh
+// attempt budget.
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
-	_, err := c.doFailover(ctx, method, path, body, out)
+	_, err := c.doFailover(ctx, newAttemptBudget(), method, path, body, out)
 	return err
 }
 
 // doFailover retries transient failures across the endpoint list, starting
 // at the last endpoint that answered, and returns the one that did.
-func (c *Client) doFailover(ctx context.Context, method, path string, body, out any) (string, error) {
+func (c *Client) doFailover(ctx context.Context, b *attemptBudget, method, path string, body, out any) (string, error) {
 	eps := c.eps()
 	start := c.preferred() % len(eps)
 	var err error
@@ -294,7 +352,10 @@ func (c *Client) doFailover(ctx context.Context, method, path string, body, out 
 		if !transient(err) || ctx.Err() != nil {
 			return "", err
 		}
-		if werr := c.backoff(ctx, try); werr != nil {
+		if !b.spend() {
+			return "", budgetErr(err)
+		}
+		if werr := c.backoff(ctx, try, err); werr != nil {
 			return "", werr
 		}
 	}
@@ -303,7 +364,7 @@ func (c *Client) doFailover(ctx context.Context, method, path string, body, out 
 
 // doPinned retries transient failures against one endpoint only — used for
 // job polls, whose IDs other endpoints would not recognize.
-func (c *Client) doPinned(ctx context.Context, ep, method, path string, body, out any) error {
+func (c *Client) doPinned(ctx context.Context, b *attemptBudget, ep, method, path string, body, out any) error {
 	var err error
 	for try := 0; try < clientRetryMax; try++ {
 		if err = c.once(ctx, ep, method, path, body, out); err == nil {
@@ -312,16 +373,28 @@ func (c *Client) doPinned(ctx context.Context, ep, method, path string, body, ou
 		if !transient(err) || ctx.Err() != nil {
 			return err
 		}
-		if werr := c.backoff(ctx, try); werr != nil {
+		if !b.spend() {
+			return budgetErr(err)
+		}
+		if werr := c.backoff(ctx, try, err); werr != nil {
 			return werr
 		}
 	}
 	return err
 }
 
+// budgetErr wraps the last real failure (when there was one) in errBudget.
+func budgetErr(last error) error {
+	if last != nil {
+		return fmt.Errorf("%w (last failure: %v)", errBudget, last)
+	}
+	return errBudget
+}
+
 // backoff sleeps the try-th capped exponential backoff with jitter, bailing
-// out when ctx ends.
-func (c *Client) backoff(ctx context.Context, try int) error {
+// out when ctx ends. A Retry-After the server attached to cause extends
+// the wait: the server knows when retrying becomes worthwhile.
+func (c *Client) backoff(ctx context.Context, try int, cause error) error {
 	d := clientRetryBase << uint(try)
 	if d > clientRetryCap {
 		d = clientRetryCap
@@ -329,6 +402,10 @@ func (c *Client) backoff(ctx context.Context, try int) error {
 	// Full jitter on the upper half de-synchronizes a fleet of clients
 	// hammering a restarting daemon.
 	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	var se *statusError
+	if errors.As(cause, &se) && se.retryAfter > d {
+		d = se.retryAfter
+	}
 	select {
 	case <-ctx.Done():
 		return ctx.Err()
@@ -369,6 +446,11 @@ func (c *Client) once(ctx context.Context, ep, method, path string, body, out an
 	}
 	if resp.StatusCode >= 400 {
 		se := &statusError{code: resp.StatusCode, method: method, path: path}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+				se.retryAfter = time.Duration(secs) * time.Second
+			}
+		}
 		var e struct {
 			Error string `json:"error"`
 		}

@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -144,5 +145,77 @@ func TestClientResubmitsWhenEndpointDies(t *testing.T) {
 	}
 	if st.State != service.StateDone || st.Yield == nil {
 		t.Fatalf("state %s, yield %v", st.State, st.Yield)
+	}
+}
+
+// TestClientHonorsRetryAfter: a 503 carrying Retry-After is the server
+// saying when retrying becomes worthwhile (the daemon sets it on a full
+// queue); the client's next attempt must wait at least that long even when
+// its own computed backoff for the try is shorter.
+func TestClientHonorsRetryAfter(t *testing.T) {
+	var mu sync.Mutex
+	var hits []time.Time
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		hits = append(hits, time.Now())
+		n := len(hits)
+		mu.Unlock()
+		if n == 1 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, `{"error":"queue full"}`, http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"status":"ok"}`))
+	}))
+	defer ts.Close()
+
+	if _, err := service.NewClient(ts.URL).Health(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(hits) != 2 {
+		t.Fatalf("server saw %d attempts, want 2", len(hits))
+	}
+	// The computed try-0 backoff is at most clientRetryBase (200ms); a gap
+	// of ~1s proves the advertised wait won.
+	if gap := hits[1].Sub(hits[0]); gap < 900*time.Millisecond {
+		t.Errorf("retry came after %v, want >= ~1s (Retry-After ignored)", gap)
+	}
+}
+
+// TestClientFailureBudgetBoundsAttempts: against a fleet that is down and
+// stays down, the layered retries (per-request attempts × resubmits) must
+// not multiply — one logical call spends one failure budget across all
+// layers and gives up in bounded time with a bounded number of attempts.
+func TestClientFailureBudgetBoundsAttempts(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"down"}`, http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	start := time.Now()
+	_, err := service.NewClient(ts.URL).Yield(ctx, service.YieldRequest{
+		Scenario: "svc-test", N: 1000, Seed: service.Seed(1),
+	})
+	if err == nil {
+		t.Fatal("Yield succeeded against an always-503 server")
+	}
+	if ctx.Err() != nil {
+		t.Fatal("client only stopped because the context expired — the budget did not bind")
+	}
+	// 1 free attempt per request layer plus the shared budget of
+	// failure-driven retries bounds the damage.
+	const maxAttempts = 4 + 12 // resubmit layers + clientAttemptBudget
+	if got := calls.Load(); got > maxAttempts {
+		t.Errorf("server saw %d attempts, want <= %d", got, maxAttempts)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Errorf("giving up took %v", elapsed)
 	}
 }

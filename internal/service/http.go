@@ -23,11 +23,16 @@ import (
 //	GET    /v1/scenarios        the scenario registry (dims, defaults, reference design)
 //	GET    /healthz             liveness, build/version, worker + lane config, fleet role, counters
 //
-// A server started as a fleet coordinator additionally serves the shard
-// protocol that fleet workers pull on:
+// Every node additionally serves the fleet protocol. The shard and
+// heartbeat routes answer 409 on a node that is not currently the
+// coordinator — "currently" because a worker that wins a hand-off election
+// becomes the coordinator at runtime, so the routes must exist everywhere
+// and check per request:
 //
 //	POST   /v1/shards/lease         lease up to `max` shards for `node` (long-polls when idle)
 //	POST   /v1/shards/{id}/complete report a shard's per-chunk pass counts (or failure)
+//	POST   /v1/fleet/heartbeat      announce liveness, receive the live-peer table
+//	POST   /v1/fleet/replicate      push replicated job specs / results / shard counts
 //
 // Every response body is JSON except the SSE stream. Submissions respond
 // with the job's Status; the `cached` field marks a request coalesced onto
@@ -42,12 +47,17 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
-	if s.coord != nil {
-		mux.HandleFunc("POST /v1/shards/lease", s.handleShardLease)
-		mux.HandleFunc("POST /v1/shards/{id}/complete", s.handleShardComplete)
-	}
+	mux.HandleFunc("POST /v1/shards/lease", s.handleShardLease)
+	mux.HandleFunc("POST /v1/shards/{id}/complete", s.handleShardComplete)
+	mux.HandleFunc("POST /v1/fleet/heartbeat", s.handleHeartbeat)
+	mux.HandleFunc("POST /v1/fleet/replicate", s.handleReplicate)
 	return mux
 }
+
+// errNotCoordinator answers fleet-protocol requests aimed at a node that
+// does not (currently) schedule shards; 409 is deliberately a non-retrying
+// status — the sender must re-resolve who coordinates, not hammer.
+var errNotCoordinator = errors.New("service: this node is not the fleet coordinator")
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	counts := s.JobCounts()
@@ -86,7 +96,12 @@ func (s *Server) handleShardLease(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New("service: shard lease needs a node name"))
 		return
 	}
-	shards, lease, err := s.coord.LeaseShards(r.Context(), req.Node, req.Max)
+	c := s.getCoord()
+	if c == nil {
+		writeError(w, http.StatusConflict, errNotCoordinator)
+		return
+	}
+	shards, lease, err := c.LeaseShards(r.Context(), req.Node, req.Max)
 	if err != nil {
 		// Only the caller's disconnect gets here; the status is moot.
 		writeError(w, http.StatusServiceUnavailable, err)
@@ -106,10 +121,49 @@ func (s *Server) handleShardComplete(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &res) {
 		return
 	}
-	if err := s.coord.CompleteShard(r.Context(), r.PathValue("id"), res); err != nil {
+	c := s.getCoord()
+	if c == nil {
+		writeError(w, http.StatusConflict, errNotCoordinator)
+		return
+	}
+	if err := c.CompleteShard(r.Context(), r.PathValue("id"), res); err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleHeartbeat serves POST /v1/fleet/heartbeat: record the announcing
+// worker in the peer table and answer with the coordinator's identity and
+// live electorate. Workers read the 409 of a non-coordinator as "this
+// endpoint cannot lead me" — during an election that is exactly the signal
+// distinguishing a restarted-but-demoted node from a promoted one.
+func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if req.Node == "" {
+		writeError(w, http.StatusBadRequest, errors.New("service: heartbeat needs a node name"))
+		return
+	}
+	c := s.getCoord()
+	if c == nil {
+		writeError(w, http.StatusConflict, errNotCoordinator)
+		return
+	}
+	writeJSON(w, http.StatusOK, c.Heartbeat(req))
+}
+
+// handleReplicate serves POST /v1/fleet/replicate: fold a coordinator's
+// replication push into this node's replica store. Any node accepts —
+// replication is what a worker holds precisely so it can coordinate later.
+func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
+	var req ReplicateRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	s.replica.apply(req)
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
@@ -143,6 +197,9 @@ func (s *Server) handleSubmitOptimize(w http.ResponseWriter, r *http.Request) {
 func (s *Server) respondSubmitted(w http.ResponseWriter, r *http.Request, j *Job, cached bool, err error) {
 	switch {
 	case errors.Is(err, ErrQueueFull) || errors.Is(err, ErrClosed):
+		// Retry-After turns the rejection into advice: the queue drains at
+		// job speed, so an immediate client retry would meet the same 503.
+		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
 	case err != nil:

@@ -38,6 +38,7 @@ import (
 	"fmt"
 	"log"
 	"math"
+	"net/http"
 	"os"
 	"sort"
 	"sync"
@@ -82,6 +83,25 @@ type Config struct {
 	// Fleet configures multi-node operation; the zero value is a
 	// single-node server.
 	Fleet FleetConfig
+	// Transport, when non-nil, carries every outbound fleet request this
+	// node makes — heartbeats, shard leases, replication pushes, election
+	// probes (nil = http.DefaultTransport). It exists as a seam: chaos
+	// tests wrap it to inject deterministic faults without production code
+	// knowing faults exist.
+	Transport http.RoundTripper
+	// Hooks observe scheduler events; the zero value observes nothing.
+	Hooks Hooks
+}
+
+// Hooks are optional observation points on the shard scheduler. They fire
+// outside scheduler locks, after the observed event took effect; tests
+// wire chaos triggers (kill-the-coordinator-at-shard-N) into them.
+type Hooks struct {
+	// ShardLeased fires after a shard lease is handed to a node.
+	ShardLeased func(node string, sh Shard)
+	// ShardCompleted fires after a completion report is processed; stale
+	// marks a duplicate or withdrawn shard's report.
+	ShardCompleted func(id string, stale bool)
 }
 
 // FleetConfig describes this server's place in a multi-node fleet.
@@ -113,6 +133,17 @@ type FleetConfig struct {
 	// default coordinator is also a worker, so a 1-process coordinator
 	// still completes jobs).
 	NoSelfWork bool
+	// AdvertiseURL is the base URL fleet peers can reach this node's own
+	// API at. A worker announces it in heartbeats; only URL-bearing nodes
+	// receive replicated state and stand in hand-off elections. Empty
+	// means the node works but can never be promoted.
+	AdvertiseURL string
+	// Heartbeat is the worker heartbeat period (0 = 2s). The coordinator
+	// counts a peer live for four periods past its last contact.
+	Heartbeat time.Duration
+	// DeadAfter is how many consecutive missed heartbeats make a worker
+	// declare its coordinator dead and start an election (0 = 3).
+	DeadAfter int
 }
 
 // Version identifies the build in /healthz; release builds stamp it via
@@ -395,22 +426,49 @@ type Server struct {
 	counter *yieldsim.Counter
 	logger  *log.Logger
 	started time.Time
-	backend Backend
-	coord   *Coordinator // non-nil when this server schedules fleet shards
-	role    string       // "single" | "coordinator" | "worker"
 	node    string
+	httpc   *http.Client // outbound fleet traffic (Config.Transport seam)
+	replica *replica     // fleet state replicated onto this node
 
 	baseCtx context.Context
 	stop    context.CancelFunc
 	wg      sync.WaitGroup
 	queue   chan *Job
 
+	drainOnce sync.Once
+	drainCh   chan struct{}  // closed by Drain: stop leasing, finish in-flight
+	shardWG   sync.WaitGroup // live shard-runner loops (Drain waits on them)
+
+	fleetMu sync.Mutex
+	fleet   fleetView // a worker's last confirmed picture of its fleet
+
 	mu       sync.Mutex
+	backend  Backend      // current yield executor; promotion swaps it
+	coord    *Coordinator // non-nil while this server schedules fleet shards
+	role     string       // "single" | "coordinator" | "worker"
 	closed   bool
 	seq      int64
 	jobs     map[string]*Job // by ID, live + retained
 	byKey    map[string]*Job // dedupe/result cache: canonical key → live or done job
 	retained *list.List      // completed jobs, least recently used at front
+}
+
+// getBackend returns the current yield executor. It is a moving target: a
+// worker that wins a hand-off election swaps in a Coordinator at runtime.
+func (s *Server) getBackend() Backend {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.backend
+}
+
+// getCoord returns the shard scheduler when this node currently
+// coordinates the fleet, nil otherwise. Like the backend, it can appear at
+// runtime through promotion — HTTP handlers must consult it per request,
+// never capture it at startup.
+func (s *Server) getCoord() *Coordinator {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.coord
 }
 
 // New starts a server with cfg's worker pool running.
@@ -440,9 +498,12 @@ func New(cfg Config) *Server {
 		counter:  counter,
 		logger:   cfg.Log,
 		started:  time.Now(),
+		httpc:    &http.Client{Transport: cfg.Transport},
+		replica:  newReplica(cfg.CacheSize, cfg.Fleet.ShardCacheSize),
 		baseCtx:  ctx,
 		stop:     cancel,
 		queue:    make(chan *Job, cfg.QueueSize),
+		drainCh:  make(chan struct{}),
 		jobs:     make(map[string]*Job),
 		byKey:    make(map[string]*Job),
 		retained: list.New(),
@@ -462,7 +523,8 @@ func New(cfg Config) *Server {
 	case cfg.Backend != nil:
 		s.backend = cfg.Backend
 	case cfg.Fleet.Coordinator:
-		s.coord = newCoordinator(cfg.Fleet, s.node, counter, cfg.Log)
+		s.coord = newCoordinator(cfg.Fleet, cfg.Hooks, s.node, counter, cfg.Log)
+		s.coord.onShardDone = s.replicateShardDone
 		s.backend = s.coord
 		if !cfg.Fleet.NoSelfWork {
 			// The coordinator is also a node of its own fleet: an
@@ -471,23 +533,25 @@ func New(cfg Config) *Server {
 			// jobs and an N-process fleet counts the coordinator as one
 			// of its N.
 			s.wg.Add(1)
+			s.shardWG.Add(1)
 			go func() {
 				defer s.wg.Done()
+				defer s.shardWG.Done()
 				// nil counter: the coordinator already counts every shard's
 				// sims from its reported result; a local counter here would
 				// double-count self-work.
-				runShardWorker(s.baseCtx, s.coord, s.node, cfg.Workers, nil, cfg.Log)
+				runShardWorker(s.baseCtx, s.coord, s.node, cfg.Workers, nil, cfg.Log, s.drainCh)
 			}()
 		}
 	default:
 		s.backend = &LocalBackend{Workers: cfg.Workers, Counter: counter}
 	}
 	if cfg.Fleet.Join != "" {
-		w := &Worker{Client: NewClient(cfg.Fleet.Join), Node: s.node, Workers: cfg.Workers, Counter: counter, Log: cfg.Log}
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			w.Run(s.baseCtx)
+			s.logf("worker %s: joining fleet at %s", s.node, cfg.Fleet.Join)
+			s.runWorkerFleet()
 		}()
 	}
 	for i := 0; i < cfg.Jobs; i++ {
@@ -633,9 +697,28 @@ func (s *Server) SubmitYield(req YieldRequest) (*Job, bool, error) {
 		Tran:     req.Tran,
 	}
 	key := yieldKey(spec)
-	run := func(ctx context.Context, j *Job) error {
+	return s.add("yield", req.Scenario, key, s.yieldRun(key, spec))
+}
+
+// yieldRun builds the run closure for a yield job from its canonical key
+// and resolved spec — shared by fresh submissions and by jobs a promoted
+// coordinator resumes from replicated specs. A result another node
+// replicated here is served as-is with zero simulation; otherwise the spec
+// is announced to the fleet's peers (so a coordinator crash mid-run loses
+// no accepted work), executed on the current backend, and the finished
+// result is replicated in turn.
+func (s *Server) yieldRun(key string, spec YieldSpec) func(context.Context, *Job) error {
+	return func(ctx context.Context, j *Job) error {
+		if res, ok := s.replica.result(key); ok {
+			s.logf("job %s served from replicated result (key %q)", j.ID, key)
+			j.mu.Lock()
+			j.yield = res
+			j.mu.Unlock()
+			return nil
+		}
+		s.replicateToPeers(ReplicateRequest{Jobs: []ReplicatedJob{{Key: key, Spec: spec}}})
 		start := time.Now()
-		pass, err := s.backend.Yield(ctx, spec, func(done, pass int64) {
+		pass, err := s.getBackend().Yield(ctx, spec, func(done, pass int64) {
 			est := float64(pass) / float64(done)
 			j.setProgress(Progress{
 				Done:  done,
@@ -648,8 +731,7 @@ func (s *Server) SubmitYield(req YieldRequest) (*Job, bool, error) {
 			return err
 		}
 		y := float64(pass) / float64(spec.N)
-		j.mu.Lock()
-		j.yield = &YieldResult{
+		res := &YieldResult{
 			Scenario:  spec.Scenario,
 			X:         spec.X,
 			N:         spec.N,
@@ -660,10 +742,12 @@ func (s *Server) SubmitYield(req YieldRequest) (*Job, bool, error) {
 			Std:       math.Sqrt(y * (1 - y) / float64(spec.N)),
 			ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
 		}
+		j.mu.Lock()
+		j.yield = res
 		j.mu.Unlock()
+		s.replicateToPeers(ReplicateRequest{Results: []ReplicatedResult{{Key: key, Result: res}}})
 		return nil
 	}
-	return s.add("yield", req.Scenario, key, run)
 }
 
 // SubmitOptimize validates, canonicalizes and enqueues an optimization job.

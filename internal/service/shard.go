@@ -24,6 +24,7 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"sort"
 	"sync"
 	"time"
 
@@ -112,6 +113,15 @@ const leasePollWait = 2 * time.Second
 // retrying it forever would hang the job.
 const maxShardFailures = 3
 
+// peerInfo is one fleet node as the coordinator tracks it: when it was
+// last seen (leasing, completing or heartbeating) and — for nodes that
+// announce one — the URL its API answers on, which is what makes the node
+// electable and a replication target.
+type peerInfo struct {
+	url  string
+	seen time.Time
+}
+
 // Coordinator is the fleet scheduler and the Backend yield jobs run on
 // when the server is started in coordinator mode. It splits each yield
 // spec into shards, serves them to pulling nodes, re-dispatches expired
@@ -122,21 +132,30 @@ type Coordinator struct {
 	counter     *yieldsim.Counter
 	logger      *log.Logger
 	lease       time.Duration
+	peerWindow  time.Duration // how long since last contact a peer counts as live
 	shardChunks int
 	cache       *lruCache[[]int]
+	hooks       Hooks
+	// onShardDone, when non-nil, receives every successfully completed
+	// shard's (canonical key, pass counts) — the replication tap.
+	onShardDone func(key string, pass []int)
 
 	mu      sync.Mutex
 	seq     int64
 	pending []*shardState          // FIFO; re-dispatched shards go to the front
 	byID    map[string]*shardState // pending + leased
-	peers   map[string]time.Time   // node → last lease/complete activity
+	peers   map[string]peerInfo    // node → last-seen + advertised URL
 	wake    chan struct{}          // closed and replaced when pending gains work
 }
 
-func newCoordinator(cfg FleetConfig, node string, counter *yieldsim.Counter, logger *log.Logger) *Coordinator {
+func newCoordinator(cfg FleetConfig, hooks Hooks, node string, counter *yieldsim.Counter, logger *log.Logger) *Coordinator {
 	lease := cfg.Lease
 	if lease <= 0 {
 		lease = 15 * time.Second
+	}
+	hb := cfg.Heartbeat
+	if hb <= 0 {
+		hb = defaultHeartbeat
 	}
 	samples := cfg.ShardSamples
 	if samples <= 0 {
@@ -148,12 +167,66 @@ func newCoordinator(cfg FleetConfig, node string, counter *yieldsim.Counter, log
 		counter:     counter,
 		logger:      logger,
 		lease:       lease,
+		peerWindow:  4 * hb,
 		shardChunks: chunks,
 		cache:       newLRUCache[[]int](cfg.ShardCacheSize),
+		hooks:       hooks,
 		byID:        make(map[string]*shardState),
-		peers:       make(map[string]time.Time),
+		peers:       make(map[string]peerInfo),
 		wake:        make(chan struct{}),
 	}
+}
+
+// touchPeerLocked refreshes a node's last-seen time, preserving any URL a
+// heartbeat announced.
+func (c *Coordinator) touchPeerLocked(node string) {
+	p := c.peers[node]
+	p.seen = time.Now()
+	c.peers[node] = p
+}
+
+// Heartbeat records one worker's liveness announcement and answers with
+// the live electorate: every URL-bearing peer (the announcer included)
+// seen within the liveness window, sorted by node name — the exact table a
+// hand-off election runs over, so every worker always holds a fresh copy.
+func (c *Coordinator) Heartbeat(req HeartbeatRequest) HeartbeatResponse {
+	c.mu.Lock()
+	switch {
+	case req.Leaving:
+		delete(c.peers, req.Node)
+		c.logf("peer %s left the fleet", req.Node)
+	case req.Node != "":
+		p := c.peers[req.Node]
+		p.seen = time.Now()
+		if req.URL != "" {
+			p.url = req.URL
+		}
+		c.peers[req.Node] = p
+	}
+	resp := HeartbeatResponse{Node: c.node, Peers: c.livePeersLocked()}
+	c.mu.Unlock()
+	return resp
+}
+
+// livePeers returns the URL-bearing peers seen within the liveness window,
+// sorted by node name — the electorate and the replication target set.
+func (c *Coordinator) livePeers() []FleetPeer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.livePeersLocked()
+}
+
+func (c *Coordinator) livePeersLocked() []FleetPeer {
+	now := time.Now()
+	peers := make([]FleetPeer, 0, len(c.peers))
+	for node, p := range c.peers {
+		if node == c.node || p.url == "" || now.Sub(p.seen) > c.peerWindow {
+			continue
+		}
+		peers = append(peers, FleetPeer{Node: node, URL: p.url})
+	}
+	sort.Slice(peers, func(i, j int) bool { return peers[i].Node < peers[j].Node })
+	return peers
 }
 
 // Name implements Backend.
@@ -290,7 +363,7 @@ func (c *Coordinator) LeaseShards(ctx context.Context, node string, max int) ([]
 	defer timeout.Stop()
 	for {
 		c.mu.Lock()
-		c.peers[node] = time.Now()
+		c.touchPeerLocked(node)
 		c.redispatchExpiredLocked()
 		out := make([]Shard, 0, max)
 		for len(out) < max && len(c.pending) > 0 {
@@ -305,6 +378,11 @@ func (c *Coordinator) LeaseShards(ctx context.Context, node string, max int) ([]
 		c.mu.Unlock()
 		if len(out) > 0 {
 			c.logf("leased %d shard(s) to %s", len(out), node)
+			if c.hooks.ShardLeased != nil {
+				for _, sh := range out {
+					c.hooks.ShardLeased(node, sh)
+				}
+			}
 			return out, c.lease, nil
 		}
 		select {
@@ -327,12 +405,15 @@ func (c *Coordinator) CompleteShard(_ context.Context, id string, res ShardResul
 	}
 	c.mu.Lock()
 	if res.Node != "" {
-		c.peers[res.Node] = time.Now()
+		c.touchPeerLocked(res.Node)
 	}
 	st, ok := c.byID[id]
 	if !ok {
 		c.mu.Unlock()
 		c.logf("shard %s completion from %s is stale", id, res.Node)
+		if c.hooks.ShardCompleted != nil {
+			c.hooks.ShardCompleted(id, true)
+		}
 		return nil
 	}
 	if res.Error != "" || len(res.Pass) != st.Last-st.First {
@@ -363,6 +444,12 @@ func (c *Coordinator) CompleteShard(_ context.Context, id string, res ShardResul
 	c.mu.Unlock()
 	close(st.done)
 	c.logf("shard %s completed by %s", id, res.Node)
+	if c.onShardDone != nil {
+		c.onShardDone(shardKey(st.Spec, st.First, st.Last), res.Pass)
+	}
+	if c.hooks.ShardCompleted != nil {
+		c.hooks.ShardCompleted(id, false)
+	}
 	return nil
 }
 
@@ -391,32 +478,46 @@ func (c *Coordinator) logf(format string, args ...any) {
 	}
 }
 
-// FleetStatus is the /healthz fleet block: the node's role and name, how
-// many distinct peers are active, and — on a coordinator — the shard
-// scheduler's queue and cache state.
+// FleetStatus is the /healthz fleet block: the node's role and name, which
+// node currently coordinates, how many distinct peers are active, on a
+// coordinator the shard scheduler's queue and cache state, and the node's
+// replicated-state counts (what a hand-off to this node could resume).
 type FleetStatus struct {
-	Role         string `json:"role"`
-	Node         string `json:"node"`
-	Peers        int    `json:"peers"`
-	PendingShards int   `json:"pending_shards,omitempty"`
-	LeasedShards  int   `json:"leased_shards,omitempty"`
-	CachedShards  int   `json:"cached_shards,omitempty"`
+	Role            string `json:"role"`
+	Node            string `json:"node"`
+	CoordinatorNode string `json:"coordinator_node,omitempty"`
+	Peers           int    `json:"peers"`
+	PendingShards   int    `json:"pending_shards,omitempty"`
+	LeasedShards    int    `json:"leased_shards,omitempty"`
+	CachedShards    int    `json:"cached_shards,omitempty"`
+	ReplJobs        int    `json:"repl_jobs,omitempty"`
+	ReplResults     int    `json:"repl_results,omitempty"`
+	ReplShards      int    `json:"repl_shards,omitempty"`
 }
 
 // Fleet reports the server's fleet status. Peers counts, for a
-// coordinator, the distinct worker nodes (other than itself) seen leasing
-// or completing within three lease windows; for a worker, its coordinator.
+// coordinator, the distinct worker nodes (other than itself) seen leasing,
+// completing or heartbeating within three lease windows; for a worker, its
+// coordinator. Role and coordinator can change at runtime: a worker that
+// wins a hand-off election reports "coordinator" from then on — election
+// probes read exactly this field.
 func (s *Server) Fleet() FleetStatus {
-	fs := FleetStatus{Role: s.role, Node: s.node}
-	if s.cfg.Fleet.Join != "" {
+	s.mu.Lock()
+	role := s.role
+	c := s.coord
+	s.mu.Unlock()
+	fs := FleetStatus{Role: role, Node: s.node}
+	if c == nil && s.cfg.Fleet.Join != "" {
 		fs.Peers = 1
+		fs.CoordinatorNode = s.fleetSnapshot().coordNode
 	}
-	if c := s.coord; c != nil {
+	if c != nil {
+		fs.CoordinatorNode = s.node
 		window := 3 * c.lease
 		now := time.Now()
 		c.mu.Lock()
-		for node, seen := range c.peers {
-			if node != c.node && now.Sub(seen) <= window {
+		for node, p := range c.peers {
+			if node != c.node && now.Sub(p.seen) <= window {
 				fs.Peers++
 			}
 		}
@@ -425,9 +526,12 @@ func (s *Server) Fleet() FleetStatus {
 		c.mu.Unlock()
 		fs.CachedShards = c.cache.Len()
 	}
+	if s.replica != nil {
+		fs.ReplJobs, fs.ReplResults, fs.ReplShards = s.replica.counts()
+	}
 	return fs
 }
 
 // BackendName reports which executor yield jobs run on ("local",
 // "coordinator", or an injected backend's name).
-func (s *Server) BackendName() string { return s.backend.Name() }
+func (s *Server) BackendName() string { return s.getBackend().Name() }

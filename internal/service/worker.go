@@ -4,46 +4,75 @@
 // that keeps self-work enabled runs it in-process against its own
 // *Coordinator (so a one-process fleet still completes jobs), and a worker
 // node runs it against a *Client pointed at the coordinator; the loop only
-// sees the shardSource pull protocol.
+// sees the shardSource pull protocol. The fleet-membership life of a
+// worker node — heartbeats, dead-coordinator detection, election — lives
+// in fleet.go; this file is only the work loop.
 package service
 
 import (
 	"context"
-	"errors"
 	"log"
+	"math/rand"
 	"time"
 
 	"github.com/eda-go/moheco/internal/yieldsim"
 )
 
-// runShardWorker pulls shards from src and executes them until ctx ends.
-// counter, when non-nil, receives the node's own simulator invocations (a
-// remote worker's /healthz feed); the coordinator's fleet-wide count is fed
-// separately from the reported ShardResult.Sims, so the in-process
-// self-runner passes nil to avoid double counting.
-func runShardWorker(ctx context.Context, src shardSource, node string, workers int, counter *yieldsim.Counter, logger *log.Logger) {
+// Lease-loop backoff when the coordinator is unreachable: capped
+// exponential with full jitter on the upper half, so a fleet of workers
+// orphaned by one coordinator crash does not stampede its successor in
+// lockstep.
+const (
+	leaseBackoffBase = 200 * time.Millisecond
+	leaseBackoffCap  = 5 * time.Second
+)
+
+// runShardWorker pulls shards from src and executes them until ctx ends or
+// drain closes. Drain stops only the *leasing*: the shard in flight still
+// executes and reports on ctx, which is the graceful half of a SIGTERM —
+// work this node already holds a lease on is finished and counted, not
+// abandoned to a lease expiry. counter, when non-nil, receives the node's
+// own simulator invocations (a remote worker's /healthz feed); the
+// coordinator's fleet-wide count is fed separately from the reported
+// ShardResult.Sims, so the in-process self-runner passes nil to avoid
+// double counting.
+func runShardWorker(ctx context.Context, src shardSource, node string, workers int, counter *yieldsim.Counter, logger *log.Logger, drain <-chan struct{}) {
+	leaseCtx := ctx
+	if drain != nil {
+		var cancel context.CancelFunc
+		leaseCtx, cancel = context.WithCancel(ctx)
+		defer cancel()
+		go func() {
+			select {
+			case <-drain:
+				cancel()
+			case <-leaseCtx.Done():
+			}
+		}()
+	}
 	backoff := time.Duration(0)
-	for ctx.Err() == nil {
-		shards, _, err := src.LeaseShards(ctx, node, 1)
+	for leaseCtx.Err() == nil {
+		shards, _, err := src.LeaseShards(leaseCtx, node, 1)
 		if err != nil {
-			if ctx.Err() != nil {
+			if leaseCtx.Err() != nil {
 				return
 			}
 			// Lease failures are transport trouble (coordinator restarting,
 			// network blip): back off and keep pulling — the lease protocol
 			// makes a vanished worker harmless, so a flaky one is too.
 			if backoff == 0 {
-				backoff = 200 * time.Millisecond
-			} else if backoff *= 2; backoff > 5*time.Second {
-				backoff = 5 * time.Second
+				backoff = leaseBackoffBase
+			} else if backoff *= 2; backoff > leaseBackoffCap {
+				backoff = leaseBackoffCap
 			}
+			sleep := backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1))
 			if logger != nil {
-				logger.Printf("worker %s: lease failed (%v), retrying in %s", node, err, backoff)
+				logger.Printf("worker %s: lease failed (%v), retrying in %s", node, err, sleep)
 			}
 			select {
-			case <-ctx.Done():
+			case <-leaseCtx.Done():
 				return
-			case <-time.After(backoff):
+			case <-time.After(sleep):
 			}
 			continue
 		}
@@ -91,28 +120,4 @@ func executeShard(ctx context.Context, sh Shard, node string, workers int, count
 	}
 	res.Pass = counts
 	return res
-}
-
-// Worker joins a remote coordinator's fleet: it pulls shards over HTTP,
-// executes them on the local worker pool, and reports counts back. It is
-// started by New when Config.Fleet.Join is set.
-type Worker struct {
-	Client  *Client
-	Node    string
-	Workers int
-	Counter *yieldsim.Counter
-	Log     *log.Logger
-}
-
-// Run pulls and executes shards until ctx ends. It returns only on
-// cancellation — a coordinator outage is ridden out by the lease loop's
-// backoff, not surfaced.
-func (w *Worker) Run(ctx context.Context) {
-	if w.Log != nil {
-		w.Log.Printf("worker %s: joining fleet at %s", w.Node, w.Client.Endpoints())
-	}
-	runShardWorker(ctx, w.Client, w.Node, w.Workers, w.Counter, w.Log)
-	if w.Log != nil && !errors.Is(ctx.Err(), nil) {
-		w.Log.Printf("worker %s: stopped", w.Node)
-	}
 }
