@@ -6,6 +6,7 @@
 // Usage:
 //
 //	mohecod [-addr :8650] [-workers N] [-jobs N] [-cache N] [-queue N] [-quiet]
+//	        [-loglevel debug|info|warn] [-debug-addr ADDR]
 //	        [-coordinator] [-join URL[,URL...]] [-node NAME] [-advertise URL]
 //	        [-lease DUR] [-heartbeat DUR] [-shard N] [-no-self-work]
 //	        [-drain DUR]
@@ -29,8 +30,16 @@
 //	GET    /v1/jobs/{id}        job status + result (?wait=DUR long-polls)
 //	DELETE /v1/jobs/{id}        cancel a job
 //	GET    /v1/jobs/{id}/events SSE progress stream
+//	GET    /v1/jobs/{id}/trace  the job's span record (queue → shards → done)
 //	GET    /v1/scenarios        the scenario registry
+//	GET    /v1/fleet/status     fleet topology + per-peer throughput
 //	GET    /healthz             liveness + counters
+//	GET    /metrics             Prometheus scrape (?fleet=1 merges peers on a coordinator)
+//	GET    /debug/vars          the same metrics as flat JSON
+//
+// -debug-addr additionally serves net/http/pprof (plus /metrics and
+// /debug/vars) on a separate listener, so CPU/heap profiles of a live
+// daemon never travel over — or open up — the public API port.
 //
 // Served results are bit-identical to the local CLIs at the same request:
 // `yieldest -server` and `mohecorun -server` run against a shared daemon
@@ -54,6 +63,8 @@ import (
 	"time"
 
 	_ "github.com/eda-go/moheco" // link the circuit registry
+	"github.com/eda-go/moheco/internal/obs"
+	"github.com/eda-go/moheco/internal/profiling"
 	"github.com/eda-go/moheco/internal/scenario"
 	"github.com/eda-go/moheco/internal/service"
 )
@@ -66,6 +77,8 @@ func main() {
 		cache   = flag.Int("cache", 0, "completed jobs retained for result reuse (0 = 256)")
 		queue   = flag.Int("queue", 0, "pending-job queue bound (0 = 256)")
 		quiet   = flag.Bool("quiet", false, "suppress per-job log lines")
+		level   = flag.String("loglevel", "info", "log verbosity: debug (per-shard chatter) | info | warn")
+		debug   = flag.String("debug-addr", "", "serve net/http/pprof + /metrics on this extra listener (empty = off)")
 
 		coordinator = flag.Bool("coordinator", false, "schedule yield jobs as fleet shards served on /v1/shards")
 		join        = flag.String("join", "", "coordinator URL(s, comma-separated failover list) to join as a worker")
@@ -89,12 +102,19 @@ func main() {
 		os.Exit(2)
 	}
 
+	logLevel, err := obs.ParseLevel(*level)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mohecod:", err)
+		os.Exit(2)
+	}
+
 	logger := log.New(os.Stderr, "mohecod: ", log.LstdFlags)
 	cfg := service.Config{
 		Workers:   *workers,
 		Jobs:      *jobs,
 		QueueSize: *queue,
 		CacheSize: *cache,
+		LogLevel:  logLevel,
 		Fleet: service.FleetConfig{
 			Coordinator:  *coordinator,
 			Join:         *join,
@@ -110,6 +130,17 @@ func main() {
 		cfg.Log = logger
 	}
 	svc := service.New(cfg)
+
+	var debugSrv *http.Server
+	if *debug != "" {
+		// The service instruments itself into obs.Default(), so the debug
+		// listener's /metrics is the same registry the API port serves.
+		debugSrv, err = profiling.Serve(*debug, obs.Default())
+		if err != nil {
+			logger.Fatal(err)
+		}
+		logger.Printf("debug listener (pprof, metrics) on %s", *debug)
+	}
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -152,6 +183,9 @@ func main() {
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		logger.Printf("shutdown: %v", err)
+	}
+	if debugSrv != nil {
+		_ = debugSrv.Shutdown(shutdownCtx)
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		logger.Fatal(err)

@@ -195,7 +195,8 @@ func main() {
 	fmt.Printf("yield: %.3f%% (%d MC samples, plan %s, %s, %s)\n",
 		100*y, *n, plan.Name(), where, elapsed.Round(time.Millisecond))
 	if *benchJSON != "" {
-		if err := perfsnap.AppendThroughput(*benchJSON, *benchName, int64(*n), elapsed); err != nil {
+		cfg := perfsnap.RunConfig{Workers: *workers, Lanes: *lanes, Served: *server != ""}
+		if err := perfsnap.AppendThroughput(*benchJSON, *benchName, int64(*n), elapsed, cfg); err != nil {
 			fatal(err)
 		}
 	}

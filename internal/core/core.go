@@ -24,17 +24,29 @@ package core
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"github.com/eda-go/moheco/internal/constraint"
 	"github.com/eda-go/moheco/internal/de"
 	"github.com/eda-go/moheco/internal/engine"
 	"github.com/eda-go/moheco/internal/nm"
+	"github.com/eda-go/moheco/internal/obs"
 	"github.com/eda-go/moheco/internal/ocba"
 	"github.com/eda-go/moheco/internal/oo"
 	"github.com/eda-go/moheco/internal/problem"
 	"github.com/eda-go/moheco/internal/randx"
 	"github.com/eda-go/moheco/internal/sample"
 	"github.com/eda-go/moheco/internal/yieldsim"
+)
+
+// Optimizer-level instrumentation: generation and local-search trigger
+// totals plus per-generation wall time, for the /metrics view of budget
+// spend. Results stay bit-deterministic — wall time lives only here, never
+// in GenRecord/Result.
+var (
+	mGenerations = obs.Default().Counter("core_generations_total")
+	mNMTriggers  = obs.Default().Counter("core_nm_triggers_total")
+	mGenSeconds  = obs.Default().Histogram("core_generation_seconds", nil)
 )
 
 // Method selects the estimation/search strategy.
@@ -391,6 +403,7 @@ func Optimize(p problem.Problem, opts Options) (*Result, error) {
 		if o.Ctx != nil && o.Ctx.Err() != nil {
 			return nil, o.Ctx.Err()
 		}
+		genStart := time.Now()
 		// Steps 1–2: base vector selection, DE mutation and crossover.
 		for i, m := range pop {
 			popX[i] = m.x
@@ -459,6 +472,7 @@ func Optimize(p problem.Problem, opts Options) (*Result, error) {
 		// flat optimum is not probed over and over at full cost.
 		if o.Method == MethodMOHECO && stallLocal >= nmStallNeed && pop[best].fit.Feasible {
 			res.NMTriggers++
+			mNMTriggers.Inc()
 			accepted := false
 			better, lerr := localSearch(p, pop[best], o, counter, ycfg, newCandidate, nominal)
 			if lerr != nil {
@@ -487,6 +501,8 @@ func Optimize(p problem.Problem, opts Options) (*Result, error) {
 			BestViolation: pop[best].fit.Violation,
 			CumSims:       counter.Total() - simBase,
 		}
+		mGenerations.Inc()
+		mGenSeconds.Observe(time.Since(genStart).Seconds())
 		for _, tr := range trials {
 			if tr.fit.Feasible {
 				rec.NumFeasible++

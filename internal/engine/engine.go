@@ -43,6 +43,20 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"github.com/eda-go/moheco/internal/obs"
+)
+
+// Pool-level instrumentation. Counters are atomic side-bookkeeping only —
+// they never influence scheduling or results, preserving the determinism
+// contract above. Busy time is summed across workers in nanoseconds, so
+// rate(engine_busy_ns_total)/1e9 divided by wall time is the pool's
+// effective parallelism.
+var (
+	mTasks   = obs.Default().Counter("engine_tasks_total")
+	mBatches = obs.Default().Counter("engine_batches_total")
+	mBusyNS  = obs.Default().Counter("engine_busy_ns_total")
 )
 
 // Resolve maps a Workers option to a concrete worker count for n work
@@ -104,12 +118,20 @@ func ForEachNCtx(ctx context.Context, workers, n int, fn func(i int) error) erro
 	}
 	done := func() bool { return ctx != nil && ctx.Err() != nil }
 	workers = Resolve(workers, n)
+	mBatches.Inc()
+	run := func(i int) error {
+		t0 := time.Now()
+		err := fn(i)
+		mBusyNS.Add(time.Since(t0).Nanoseconds())
+		mTasks.Inc()
+		return err
+	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
 			if done() {
 				return ctx.Err()
 			}
-			if err := fn(i); err != nil {
+			if err := run(i); err != nil {
 				return err
 			}
 		}
@@ -133,7 +155,7 @@ func ForEachNCtx(ctx context.Context, workers, n int, fn func(i int) error) erro
 				if i >= n {
 					return
 				}
-				if err := fn(i); err != nil {
+				if err := run(i); err != nil {
 					errs[i] = err
 					failed.Store(true)
 					return

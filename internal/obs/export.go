@@ -1,0 +1,292 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// PrometheusContentType is the Content-Type for the text exposition format.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus writes every metric in Prometheus text exposition format,
+// sorted by family then label set. Gauge funcs are evaluated at scrape time.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	return r.Snapshot().writePrometheus(w, r.scrapeFuncs())
+}
+
+// scrapeFuncs evaluates registered gauge funcs into a plain map.
+func (r *Registry) scrapeFuncs() map[string]float64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	keys := sortedKeys(r.funcs)
+	fns := make([]func() float64, len(keys))
+	for i, k := range keys {
+		fns[i] = r.funcs[k]
+	}
+	r.mu.Unlock()
+	// Evaluate outside the lock: funcs may take other locks (queue depth).
+	out := make(map[string]float64, len(keys))
+	for i, k := range keys {
+		out[k.String()] = fns[i]()
+	}
+	return out
+}
+
+// HistogramSnapshot is the exported state of one histogram. Counts has one
+// entry per bound plus the +Inf tail.
+type HistogramSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	Sum    float64   `json:"sum"`
+	Count  int64     `json:"count"`
+}
+
+// Snapshot is a point-in-time copy of a registry's stored metrics, keyed by
+// the full series name (`family{labels}`). It is the unit of fleet
+// aggregation: workers piggyback one on each heartbeat and the coordinator
+// merges them. Gauge funcs are deliberately absent — they are node-local
+// views that would double-count under a merge.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot copies the registry's counters, gauges and histograms.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, c := range r.counters {
+		counters[k.String()] = c
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, g := range r.gauges {
+		gauges[k.String()] = g
+	}
+	hists := make(map[string]*Histogram, len(r.histograms))
+	for k, h := range r.histograms {
+		hists[k.String()] = h
+	}
+	r.mu.Unlock()
+	for k, c := range counters {
+		s.Counters[k] = c.Value()
+	}
+	for k, g := range gauges {
+		s.Gauges[k] = g.Value()
+	}
+	for k, h := range hists {
+		s.Histograms[k] = h.snapshot()
+	}
+	return s
+}
+
+// Merge adds other into s: counters and histogram buckets sum; gauges sum
+// (fleet gauges are occupancy-style, where the cluster total is the useful
+// number). Histograms with mismatched bucket layouts keep s's layout and
+// fold other's count/sum into the +Inf tail rather than dropping data.
+func (s *Snapshot) Merge(other Snapshot) {
+	if s.Counters == nil {
+		s.Counters = map[string]int64{}
+	}
+	if s.Gauges == nil {
+		s.Gauges = map[string]float64{}
+	}
+	if s.Histograms == nil {
+		s.Histograms = map[string]HistogramSnapshot{}
+	}
+	for k, v := range other.Counters {
+		s.Counters[k] += v
+	}
+	for k, v := range other.Gauges {
+		s.Gauges[k] += v
+	}
+	for k, oh := range other.Histograms {
+		h, ok := s.Histograms[k]
+		if !ok {
+			ch := HistogramSnapshot{
+				Bounds: append([]float64(nil), oh.Bounds...),
+				Counts: append([]int64(nil), oh.Counts...),
+				Sum:    oh.Sum,
+				Count:  oh.Count,
+			}
+			s.Histograms[k] = ch
+			continue
+		}
+		if len(h.Bounds) == len(oh.Bounds) && len(h.Counts) == len(oh.Counts) {
+			same := true
+			for i := range h.Bounds {
+				if h.Bounds[i] != oh.Bounds[i] {
+					same = false
+					break
+				}
+			}
+			if same {
+				for i := range h.Counts {
+					h.Counts[i] += oh.Counts[i]
+				}
+				h.Sum += oh.Sum
+				h.Count += oh.Count
+				s.Histograms[k] = h
+				continue
+			}
+		}
+		// Layout mismatch: preserve totals in the tail bucket.
+		if n := len(h.Counts); n > 0 {
+			h.Counts[n-1] += oh.Count
+		}
+		h.Sum += oh.Sum
+		h.Count += oh.Count
+		s.Histograms[k] = h
+	}
+}
+
+// WritePrometheus renders the snapshot in the text exposition format.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	return s.writePrometheus(w, nil)
+}
+
+// splitSeries splits a full series name back into family and label block.
+func splitSeries(name string) (fam, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i], name[i+1 : len(name)-1]
+	}
+	return name, ""
+}
+
+func (s Snapshot) writePrometheus(w io.Writer, funcs map[string]float64) error {
+	type series struct {
+		fam, labels string
+		render      func() error
+	}
+	var all []series
+	bw := &errWriter{w: w}
+
+	for name, v := range s.Counters {
+		fam, labels := splitSeries(name)
+		v := v
+		all = append(all, series{fam, labels, func() error {
+			bw.typeLine(fam, "counter")
+			bw.sample(fam, labels, "", fmt.Sprintf("%d", v))
+			return bw.err
+		}})
+	}
+	gauges := make(map[string]float64, len(s.Gauges)+len(funcs))
+	for name, v := range s.Gauges {
+		gauges[name] = v
+	}
+	for name, v := range funcs {
+		gauges[name] += v
+	}
+	for name, v := range gauges {
+		fam, labels := splitSeries(name)
+		v := v
+		all = append(all, series{fam, labels, func() error {
+			bw.typeLine(fam, "gauge")
+			bw.sample(fam, labels, "", formatFloat(v))
+			return bw.err
+		}})
+	}
+	for name, h := range s.Histograms {
+		fam, labels := splitSeries(name)
+		h := h
+		all = append(all, series{fam, labels, func() error {
+			bw.typeLine(fam, "histogram")
+			cum := int64(0)
+			for i, b := range h.Bounds {
+				if i < len(h.Counts) {
+					cum += h.Counts[i]
+				}
+				bw.sample(fam+"_bucket", joinLabels(labels, `le="`+formatFloat(b)+`"`), "", fmt.Sprintf("%d", cum))
+			}
+			bw.sample(fam+"_bucket", joinLabels(labels, `le="+Inf"`), "", fmt.Sprintf("%d", h.Count))
+			bw.sample(fam+"_sum", labels, "", formatFloat(h.Sum))
+			bw.sample(fam+"_count", labels, "", fmt.Sprintf("%d", h.Count))
+			return bw.err
+		}})
+	}
+
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].fam != all[j].fam {
+			return all[i].fam < all[j].fam
+		}
+		return all[i].labels < all[j].labels
+	})
+	for _, sr := range all {
+		if err := sr.render(); err != nil {
+			return err
+		}
+	}
+	return bw.err
+}
+
+func joinLabels(a, b string) string {
+	if a == "" {
+		return b
+	}
+	return a + "," + b
+}
+
+// errWriter funnels formatting through one error check and deduplicates
+// `# TYPE` lines per family.
+type errWriter struct {
+	w       io.Writer
+	err     error
+	lastFam string
+}
+
+func (e *errWriter) typeLine(fam, typ string) {
+	if e.err != nil || e.lastFam == fam {
+		return
+	}
+	e.lastFam = fam
+	_, e.err = fmt.Fprintf(e.w, "# TYPE %s %s\n", fam, typ)
+}
+
+func (e *errWriter) sample(name, labels, suffix, val string) {
+	if e.err != nil {
+		return
+	}
+	if labels != "" {
+		_, e.err = fmt.Fprintf(e.w, "%s%s{%s} %s\n", name, suffix, labels, val)
+	} else {
+		_, e.err = fmt.Fprintf(e.w, "%s%s %s\n", name, suffix, val)
+	}
+}
+
+// WriteVars writes an expvar-style flat JSON object: counters and gauges by
+// series name, histograms as {count,sum,buckets} objects.
+func (r *Registry) WriteVars(w io.Writer) error {
+	s := r.Snapshot()
+	vars := make(map[string]any, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
+	for k, v := range s.Counters {
+		vars[k] = v
+	}
+	for k, v := range s.Gauges {
+		vars[k] = v
+	}
+	for k, v := range r.scrapeFuncs() {
+		vars[k] = v
+	}
+	for k, h := range s.Histograms {
+		vars[k] = map[string]any{"count": h.Count, "sum": h.Sum, "bounds": h.Bounds, "counts": h.Counts}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(vars)
+}

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"fmt"
+	"log"
+	"strings"
+)
+
+// Level is a log severity. The zero value is Info, so a zero Config keeps
+// today's behavior; Debug opts into per-shard chatter.
+type Level int
+
+const (
+	LevelDebug Level = -4
+	LevelInfo  Level = 0
+	LevelWarn  Level = 4
+)
+
+// ParseLevel maps "debug"/"info"/"warn" (any case) to a Level.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return LevelDebug, nil
+	case "", "info":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	}
+	return LevelInfo, fmt.Errorf("obs: unknown log level %q (want debug, info or warn)", s)
+}
+
+func (l Level) String() string {
+	switch {
+	case l <= LevelDebug:
+		return "debug"
+	case l >= LevelWarn:
+		return "warn"
+	}
+	return "info"
+}
+
+// Logger is a minimal leveled logger over a *log.Logger sink with an
+// optional per-component prefix. A nil *Logger drops everything, so
+// components hold one and never branch on "is logging configured".
+type Logger struct {
+	out  *log.Logger
+	min  Level
+	comp string
+}
+
+// NewLogger wraps out with a minimum level. A nil out yields a nil logger.
+func NewLogger(out *log.Logger, min Level) *Logger {
+	if out == nil {
+		return nil
+	}
+	return &Logger{out: out, min: min}
+}
+
+// With returns a copy that prefixes messages with "component: ".
+func (l *Logger) With(component string) *Logger {
+	if l == nil {
+		return nil
+	}
+	c := *l
+	if c.comp != "" && component != "" {
+		c.comp = c.comp + "/" + component
+	} else if component != "" {
+		c.comp = component
+	}
+	return &c
+}
+
+// Enabled reports whether messages at level v would be emitted.
+func (l *Logger) Enabled(v Level) bool {
+	return l != nil && v >= l.min
+}
+
+func (l *Logger) logf(v Level, format string, args ...any) {
+	if !l.Enabled(v) {
+		return
+	}
+	var b strings.Builder
+	if v <= LevelDebug {
+		b.WriteString("DEBUG ")
+	} else if v >= LevelWarn {
+		b.WriteString("WARN ")
+	}
+	if l.comp != "" {
+		b.WriteString(l.comp)
+		b.WriteString(": ")
+	}
+	fmt.Fprintf(&b, format, args...)
+	l.out.Output(3, b.String())
+}
+
+// Debugf logs at Debug level (per-shard chatter, retries).
+func (l *Logger) Debugf(format string, args ...any) { l.logf(LevelDebug, format, args...) }
+
+// Infof logs at Info level (job lifecycle, role changes).
+func (l *Logger) Infof(format string, args ...any) { l.logf(LevelInfo, format, args...) }
+
+// Warnf logs at Warn level (peer death, replication failures).
+func (l *Logger) Warnf(format string, args ...any) { l.logf(LevelWarn, format, args...) }

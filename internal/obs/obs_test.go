@@ -1,0 +1,266 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"log"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrency hammers one registry with parallel writers while
+// scrapes run, and checks the final totals. Run under -race this is the
+// registry's thread-safety proof.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const writers = 8
+	const perWriter = 2000
+	var wg, scrapers sync.WaitGroup
+	stop := make(chan struct{})
+	// Scrapers: Prometheus text, vars JSON, and snapshots in a loop.
+	for i := 0; i < 3; i++ {
+		scrapers.Add(1)
+		go func() {
+			defer scrapers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var buf bytes.Buffer
+				if err := r.WritePrometheus(&buf); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := r.WriteVars(&buf); err != nil {
+					t.Error(err)
+					return
+				}
+				_ = r.Snapshot()
+			}
+		}()
+	}
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c := r.Counter("test_ops_total")
+			lc := r.Counter("test_ops_labeled_total", "writer", "w")
+			g := r.Gauge("test_gauge")
+			h := r.Histogram("test_seconds", []float64{0.5, 1, 2})
+			for j := 0; j < perWriter; j++ {
+				c.Inc()
+				lc.Add(2)
+				g.Add(1)
+				h.Observe(float64(j%3) + 0.25)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(stop)
+	scrapers.Wait()
+
+	if got := r.Counter("test_ops_total").Value(); got != writers*perWriter {
+		t.Fatalf("counter = %d, want %d", got, writers*perWriter)
+	}
+	if got := r.Counter("test_ops_labeled_total", "writer", "w").Value(); got != 2*writers*perWriter {
+		t.Fatalf("labeled counter = %d, want %d", got, 2*writers*perWriter)
+	}
+	if got := r.Gauge("test_gauge").Value(); got != writers*perWriter {
+		t.Fatalf("gauge = %g, want %d", got, writers*perWriter)
+	}
+	h := r.Histogram("test_seconds", nil)
+	if got := h.Count(); got != writers*perWriter {
+		t.Fatalf("histogram count = %d, want %d", got, writers*perWriter)
+	}
+}
+
+func TestPrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("jobs_total", "state", "done").Add(3)
+	r.Counter("jobs_total", "state", "failed").Add(1)
+	r.Gauge("queue_depth").Set(2)
+	h := r.Histogram("latency_seconds", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	r.GaugeFunc("live_depth", func() float64 { return 7 })
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE jobs_total counter\n",
+		`jobs_total{state="done"} 3` + "\n",
+		`jobs_total{state="failed"} 1` + "\n",
+		"# TYPE queue_depth gauge\n",
+		"queue_depth 2\n",
+		"# TYPE latency_seconds histogram\n",
+		`latency_seconds_bucket{le="0.1"} 1` + "\n",
+		`latency_seconds_bucket{le="1"} 2` + "\n",
+		`latency_seconds_bucket{le="+Inf"} 3` + "\n",
+		"latency_seconds_sum 5.55\n",
+		"latency_seconds_count 3\n",
+		"live_depth 7\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// TYPE line appears once per family even with several label sets.
+	if got := strings.Count(out, "# TYPE jobs_total counter"); got != 1 {
+		t.Errorf("TYPE jobs_total emitted %d times", got)
+	}
+}
+
+func TestVarsJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total").Add(4)
+	r.Gauge("b").Set(1.5)
+	r.Histogram("h_seconds", []float64{1}).Observe(0.2)
+	var buf bytes.Buffer
+	if err := r.WriteVars(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var vars map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &vars); err != nil {
+		t.Fatalf("vars output is not JSON: %v\n%s", err, buf.String())
+	}
+	if vars["a_total"] != float64(4) {
+		t.Errorf("a_total = %v", vars["a_total"])
+	}
+	if vars["b"] != 1.5 {
+		t.Errorf("b = %v", vars["b"])
+	}
+	if _, ok := vars["h_seconds"].(map[string]any); !ok {
+		t.Errorf("h_seconds = %T", vars["h_seconds"])
+	}
+}
+
+func TestSnapshotMerge(t *testing.T) {
+	a := NewRegistry()
+	b := NewRegistry()
+	a.Counter("sims_total").Add(100)
+	b.Counter("sims_total").Add(50)
+	b.Counter("only_b_total").Add(7)
+	a.Gauge("busy").Set(1)
+	b.Gauge("busy").Set(2)
+	ha := a.Histogram("lat_seconds", []float64{1, 2})
+	hb := b.Histogram("lat_seconds", []float64{1, 2})
+	ha.Observe(0.5)
+	hb.Observe(1.5)
+	hb.Observe(10)
+
+	m := a.Snapshot()
+	m.Merge(b.Snapshot())
+	if m.Counters["sims_total"] != 150 {
+		t.Errorf("sims_total = %d", m.Counters["sims_total"])
+	}
+	if m.Counters["only_b_total"] != 7 {
+		t.Errorf("only_b_total = %d", m.Counters["only_b_total"])
+	}
+	if m.Gauges["busy"] != 3 {
+		t.Errorf("busy = %g", m.Gauges["busy"])
+	}
+	h := m.Histograms["lat_seconds"]
+	if h.Count != 3 {
+		t.Errorf("merged count = %d", h.Count)
+	}
+	if h.Counts[0] != 1 || h.Counts[1] != 1 || h.Counts[2] != 1 {
+		t.Errorf("merged buckets = %v", h.Counts)
+	}
+	if got, want := h.Sum, 12.0; got != want {
+		t.Errorf("merged sum = %g, want %g", got, want)
+	}
+
+	// Mismatched layouts fold into the tail instead of dropping.
+	c := NewRegistry()
+	c.Histogram("lat_seconds", []float64{9}).Observe(0.1)
+	m.Merge(c.Snapshot())
+	h = m.Histograms["lat_seconds"]
+	if h.Count != 4 || len(h.Bounds) != 2 {
+		t.Errorf("mismatched merge: count=%d bounds=%v", h.Count, h.Bounds)
+	}
+
+	// Snapshots survive a JSON round trip (the heartbeat wire path).
+	raw, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["sims_total"] != 150 {
+		t.Errorf("round trip sims_total = %d", back.Counters["sims_total"])
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z", nil)
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil metrics must read as zero")
+	}
+	r.GaugeFunc("f", func() float64 { return 1 })
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil registry scrape: err=%v out=%q", err, buf.String())
+	}
+
+	var l *Logger
+	l.Debugf("dropped %d", 1)
+	l.Infof("dropped")
+	l.Warnf("dropped")
+	if l.With("c") != nil || l.Enabled(LevelWarn) {
+		t.Fatal("nil logger must stay nil and disabled")
+	}
+}
+
+func TestLoggerLevels(t *testing.T) {
+	var buf bytes.Buffer
+	sink := log.New(&buf, "", 0)
+	l := NewLogger(sink, LevelInfo).With("coord")
+	l.Debugf("shard %d leased", 1)
+	l.Infof("job %s queued", "j1")
+	l.Warnf("peer %s lost", "w2")
+	out := buf.String()
+	if strings.Contains(out, "shard 1 leased") {
+		t.Errorf("debug line leaked at info level:\n%s", out)
+	}
+	if !strings.Contains(out, "coord: job j1 queued") {
+		t.Errorf("missing info line:\n%s", out)
+	}
+	if !strings.Contains(out, "WARN coord: peer w2 lost") {
+		t.Errorf("missing warn line:\n%s", out)
+	}
+
+	buf.Reset()
+	d := NewLogger(sink, LevelDebug)
+	d.Debugf("visible")
+	if !strings.Contains(buf.String(), "DEBUG visible") {
+		t.Errorf("debug level should emit debug lines: %q", buf.String())
+	}
+
+	for _, tc := range []struct {
+		in   string
+		want Level
+		ok   bool
+	}{{"debug", LevelDebug, true}, {"INFO", LevelInfo, true}, {"Warn", LevelWarn, true}, {"", LevelInfo, true}, {"loud", LevelInfo, false}} {
+		got, err := ParseLevel(tc.in)
+		if (err == nil) != tc.ok || got != tc.want {
+			t.Errorf("ParseLevel(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+}

@@ -140,13 +140,42 @@ type event struct {
 	Output  string    `json:"Output,omitempty"`
 }
 
+// RunConfig is the execution shape a throughput line was measured under.
+// It renders as Go sub-benchmark path segments
+// (`BenchmarkName/workers=2/lanes=8/served=1`), so trajectory tooling that
+// groups by base name keeps working while lines measured under different
+// configurations stay distinguishable instead of silently averaging.
+type RunConfig struct {
+	// Workers is the simulation goroutine bound the run used (0 = the
+	// GOMAXPROCS default).
+	Workers int
+	// Lanes is the lockstep lane count (0 = auto by pattern size).
+	Lanes int
+	// Served marks a run executed by a mohecod daemon rather than
+	// in-process — the workers/lanes then describe the client's request,
+	// not necessarily every fleet node.
+	Served bool
+}
+
+// suffix renders the sub-benchmark path. Zero values are stamped explicitly
+// ("workers=0" = GOMAXPROCS, "lanes=0" = auto): an omitted segment would
+// collide with a future genuinely-unstamped line.
+func (c RunConfig) suffix() string {
+	s := fmt.Sprintf("/workers=%d/lanes=%d", c.Workers, c.Lanes)
+	if c.Served {
+		s += "/served=1"
+	}
+	return s
+}
+
 // AppendThroughput appends a one-line throughput snapshot — a benchmark
-// named name that processed samples Monte-Carlo samples in elapsed — to the
-// file at path in the same test2json line schema as Write, creating the
-// file when absent. The fleet-smoke CI job uses it to record samples/sec at
-// different node counts into BENCH_service.json; the samples/s metric is
-// the headline number, the ns/op field is the raw elapsed time.
-func AppendThroughput(path, name string, samples int64, elapsed time.Duration) error {
+// named name that processed samples Monte-Carlo samples in elapsed under
+// configuration cfg — to the file at path in the same test2json line schema
+// as Write, creating the file when absent. The fleet-smoke CI job uses it
+// to record samples/sec at different node counts into BENCH_service.json;
+// the samples/s metric is the headline number, the ns/op field is the raw
+// elapsed time, and cfg becomes sub-benchmark path segments on the name.
+func AppendThroughput(path, name string, samples int64, elapsed time.Duration, cfg RunConfig) error {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return err
@@ -157,7 +186,7 @@ func AppendThroughput(path, name string, samples int64, elapsed time.Duration) e
 		return enc.Encode(event{Time: time.Now().UTC(), Action: action, Package: pkg, Output: output})
 	}
 	rate := float64(samples) / elapsed.Seconds()
-	line := fmt.Sprintf("Benchmark%s\t1\t%d ns/op\t%.1f samples/s\n", name, elapsed.Nanoseconds(), rate)
+	line := fmt.Sprintf("Benchmark%s%s\t1\t%d ns/op\t%.1f samples/s\n", name, cfg.suffix(), elapsed.Nanoseconds(), rate)
 	if err := emit("output", line); err != nil {
 		return err
 	}

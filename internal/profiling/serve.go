@@ -1,0 +1,53 @@
+// Debug listener: the serving half of the package. The flag-driven
+// profile-to-file path (profiling.go) covers batch CLIs; long-lived daemons
+// instead expose net/http/pprof — plus the metrics registry — on a separate
+// listener (`mohecod -debug-addr`), so profiling and scrape traffic never
+// competes with (or accidentally opens up on) the public API port.
+
+package profiling
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"github.com/eda-go/moheco/internal/obs"
+)
+
+// Handler returns the debug mux: the standard net/http/pprof surface under
+// /debug/pprof/, the registry's Prometheus scrape at /metrics, and the
+// expvar-style JSON at /debug/vars. reg may be nil (pprof only).
+func Handler(reg *obs.Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", obs.PrometheusContentType)
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = reg.WriteVars(w)
+	})
+	return mux
+}
+
+// Serve binds addr and serves Handler(reg) in the background, returning the
+// server for shutdown. The bind happens synchronously so a bad address
+// fails at startup, not on the first scrape.
+func Serve(addr string, reg *obs.Registry) (*http.Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{
+		Handler:           Handler(reg),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, nil
+}

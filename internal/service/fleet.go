@@ -34,6 +34,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"github.com/eda-go/moheco/internal/obs"
 )
 
 // FleetPeer identifies one node of the fleet on the wire: its name and the
@@ -52,6 +54,13 @@ type HeartbeatRequest struct {
 	Node    string `json:"node"`
 	URL     string `json:"url,omitempty"`
 	Leaving bool   `json:"leaving,omitempty"`
+	// Sims is the node's cumulative simulator-invocation count; successive
+	// values give the coordinator a per-peer sims/sec estimate.
+	Sims int64 `json:"sims,omitempty"`
+	// Metrics piggybacks the node's metrics snapshot so the coordinator can
+	// serve a fleet-wide merged scrape (GET /metrics?fleet=1) without a
+	// second collection protocol.
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
 }
 
 // HeartbeatResponse carries the coordinator's identity and its live-peer
@@ -264,7 +273,7 @@ func (s *Server) serveCoordinator(client *Client) bool {
 	go func() {
 		defer wg.Done()
 		defer s.shardWG.Done()
-		runShardWorker(cctx, client, s.node, s.cfg.Workers, s.counter, s.logger, s.drainCh)
+		runShardWorker(cctx, client, s.node, s.cfg.Workers, s.counter, s.log.With("worker"), s.drainCh)
 	}()
 	defer func() {
 		cancel()
@@ -274,7 +283,16 @@ func (s *Server) serveCoordinator(client *Client) bool {
 	misses, met := 0, false
 	for {
 		hctx, hcancel := context.WithTimeout(s.baseCtx, s.fleetRPCTimeout())
-		resp, err := client.Heartbeat(hctx, HeartbeatRequest{Node: s.node, URL: s.cfg.Fleet.AdvertiseURL})
+		// Piggyback the node's observability payload: cumulative sims (the
+		// coordinator's throughput estimate) and the full metrics snapshot
+		// (the fleet-wide merged scrape).
+		snap := s.metrics.Snapshot()
+		resp, err := client.Heartbeat(hctx, HeartbeatRequest{
+			Node:    s.node,
+			URL:     s.cfg.Fleet.AdvertiseURL,
+			Sims:    s.counter.Total(),
+			Metrics: &snap,
+		})
 		hcancel()
 		switch {
 		case err == nil:
@@ -290,8 +308,9 @@ func (s *Server) serveCoordinator(client *Client) bool {
 			return false
 		default:
 			misses++
+			s.sm.heartbeatMisses.Inc()
 			if met && misses >= s.deadAfter() {
-				s.logf("worker %s: coordinator missed %d heartbeats (%v), presumed dead", s.node, misses, err)
+				s.log.Warnf("worker %s: coordinator missed %d heartbeats (%v), presumed dead", s.node, misses, err)
 				return true
 			}
 		}
@@ -340,6 +359,7 @@ func (s *Server) elect() (next string, promote bool) {
 			break
 		}
 	}
+	s.sm.elections.Inc()
 	s.logf("worker %s: electing among %d candidate(s), own rank %d", s.node, len(cands), rank)
 
 	start := time.Now()
@@ -404,12 +424,13 @@ func (s *Server) promote() {
 		s.mu.Unlock()
 		return
 	}
-	c := newCoordinator(s.cfg.Fleet, s.cfg.Hooks, s.node, s.counter, s.logger)
+	c := newCoordinator(s.cfg.Fleet, s.cfg.Hooks, s.node, s.counter, s.log.With("coord"), s.sm)
 	c.onShardDone = s.replicateShardDone
 	s.coord = c
 	s.backend = c
 	s.role = "coordinator"
 	s.mu.Unlock()
+	s.sm.promotions.Inc()
 
 	warm := s.replica.takeShards()
 	for key, pass := range warm {
@@ -424,7 +445,7 @@ func (s *Server) promote() {
 		go func() {
 			defer s.wg.Done()
 			defer s.shardWG.Done()
-			runShardWorker(s.baseCtx, c, s.node, s.cfg.Workers, nil, s.logger, s.drainCh)
+			runShardWorker(s.baseCtx, c, s.node, s.cfg.Workers, nil, s.log.With("worker"), s.drainCh)
 		}()
 	}
 	for key, spec := range jobs {
@@ -461,7 +482,8 @@ func (s *Server) replicateToPeers(req ReplicateRequest) {
 			ctx, cancel := context.WithTimeout(context.Background(), replicateTimeout)
 			defer cancel()
 			if err := s.newFleetClient(p.URL).Replicate(ctx, req); err != nil {
-				s.logf("replicating to %s (%s) failed: %v", p.Node, p.URL, err)
+				s.sm.replFailures.Inc()
+				s.log.Warnf("replicating to %s (%s) failed: %v", p.Node, p.URL, err)
 			}
 		}(p)
 	}

@@ -9,6 +9,7 @@ import (
 	"runtime"
 	"time"
 
+	"github.com/eda-go/moheco/internal/obs"
 	"github.com/eda-go/moheco/internal/scenario"
 )
 
@@ -20,8 +21,12 @@ import (
 //	GET    /v1/jobs/{id}        job status + result (?wait=DUR long-polls completion)
 //	DELETE /v1/jobs/{id}        cancel the job
 //	GET    /v1/jobs/{id}/events SSE progress stream until completion
+//	GET    /v1/jobs/{id}/trace  the job's span record (queue → shards → merge, per-node attribution)
 //	GET    /v1/scenarios        the scenario registry (dims, defaults, reference design)
+//	GET    /v1/fleet/status     fleet topology + per-peer throughput (FleetStatus)
 //	GET    /healthz             liveness, build/version, worker + lane config, fleet role, counters
+//	GET    /metrics             Prometheus text exposition (?fleet=1 on a coordinator merges peers)
+//	GET    /debug/vars          the same metrics as a flat expvar-style JSON object
 //
 // Every node additionally serves the fleet protocol. The shard and
 // heartbeat routes answer 409 on a node that is not currently the
@@ -47,6 +52,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /v1/fleet/status", s.handleFleetStatus)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/vars", s.handleVars)
 	mux.HandleFunc("POST /v1/shards/lease", s.handleShardLease)
 	mux.HandleFunc("POST /v1/shards/{id}/complete", s.handleShardComplete)
 	mux.HandleFunc("POST /v1/fleet/heartbeat", s.handleHeartbeat)
@@ -167,6 +176,52 @@ func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// handleMetrics serves GET /metrics in the Prometheus text exposition
+// format. On a coordinator, ?fleet=1 merges the last piggybacked snapshot
+// of every live peer into the local one — counters across the fleet sum,
+// so `yieldsim_samples_simulated_total` over a sharded job equals the
+// requested n no matter which nodes simulated which shards.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", obs.PrometheusContentType)
+	if r.URL.Query().Get("fleet") != "" {
+		if c := s.getCoord(); c != nil {
+			_ = c.mergedSnapshot(s.metrics.Snapshot()).WritePrometheus(w)
+			return
+		}
+	}
+	_ = s.metrics.WritePrometheus(w)
+}
+
+// handleVars serves GET /debug/vars: the same registry as a flat
+// expvar-style JSON object (curl | jq territory).
+func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = s.metrics.WriteVars(w)
+}
+
+// handleFleetStatus serves GET /v1/fleet/status — the same FleetStatus
+// block /healthz embeds, addressable on its own for fleet dashboards.
+func (s *Server) handleFleetStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Fleet())
+}
+
+// handleTrace serves GET /v1/jobs/{id}/trace: the job's full span record.
+// Traces live in a bounded ring, so an old job can answer 404 here while
+// its status (and trace summary) are still retained.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, err := s.Get(id); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	t, ok := s.traces.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("service: no trace retained for job %s", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, t.View())
+}
+
 func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"scenarios": scenario.Describe()})
 }
@@ -275,6 +330,8 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Cache-Control", "no-cache")
 	w.Header().Set("Connection", "keep-alive")
 	w.WriteHeader(http.StatusOK)
+	s.sm.sseSubscribers.Add(1)
+	defer s.sm.sseSubscribers.Add(-1)
 
 	send := func(event string, v any) bool {
 		data, err := json.Marshal(v)

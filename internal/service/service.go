@@ -45,6 +45,7 @@ import (
 	"time"
 
 	"github.com/eda-go/moheco/internal/core"
+	"github.com/eda-go/moheco/internal/obs"
 	"github.com/eda-go/moheco/internal/sample"
 	"github.com/eda-go/moheco/internal/scenario"
 	"github.com/eda-go/moheco/internal/yieldsim"
@@ -73,8 +74,21 @@ type Config struct {
 	EventInterval time.Duration
 	// WaitLimit caps the server-side block of ?wait requests (0 = 30s).
 	WaitLimit time.Duration
-	// Log, when non-nil, receives one line per job transition.
+	// Log, when non-nil, receives one line per job transition (and, at
+	// LogLevel debug, per-shard scheduler chatter). The raw *log.Logger is
+	// kept for compatibility; internally it is wrapped in a leveled
+	// obs.Logger.
 	Log *log.Logger
+	// LogLevel filters Log output; the zero value (info) keeps the
+	// pre-leveled behavior minus per-shard chatter, which now needs debug.
+	LogLevel obs.Level
+	// Metrics is the registry the server instruments itself into (nil =
+	// obs.Default()). Tests running several servers in one process inject
+	// private registries so counters don't bleed between them.
+	Metrics *obs.Registry
+	// TraceSize bounds the per-job trace ring (0 = CacheSize): traces
+	// outlive neither the ring nor sustained churn — memory stays bounded.
+	TraceSize int
 	// Backend, when non-nil, overrides the executor yield jobs run on
 	// (nil = chosen by Fleet: a Coordinator when Fleet.Coordinator is set,
 	// the in-process LocalBackend otherwise). Tests inject instrumented
@@ -338,6 +352,10 @@ type Status struct {
 	Created  time.Time       `json:"created"`
 	Started  *time.Time      `json:"started,omitempty"`
 	Finished *time.Time      `json:"finished,omitempty"`
+	// Trace summarizes the job's span record once it reaches a terminal
+	// state: queue vs run time, shard count and node attribution. The full
+	// trace is at GET /v1/jobs/{id}/trace while retained.
+	Trace *TraceSummary `json:"trace,omitempty"`
 }
 
 // Job is one submitted computation. All mutable fields are guarded by mu;
@@ -352,6 +370,12 @@ type Job struct {
 	cancel context.CancelFunc
 	run    func(ctx context.Context, j *Job) error
 	done   chan struct{}
+
+	// trace is the job's span record (nil when tracing is off — every use
+	// is nil-safe). queueSpan/runSpan bracket the two lifecycle phases.
+	trace     *obs.Trace
+	queueSpan obs.SpanID
+	runSpan   obs.SpanID
 
 	mu        sync.Mutex
 	state     State
@@ -394,6 +418,9 @@ func (j *Job) Status() Status {
 		t := j.finished
 		st.Finished = &t
 	}
+	if j.state.Terminal() && j.trace != nil {
+		st.Trace = summarizeTrace(j.trace.View())
+	}
 	return st
 }
 
@@ -424,7 +451,10 @@ func (j *Job) setProgress(p Progress) {
 type Server struct {
 	cfg     Config
 	counter *yieldsim.Counter
-	logger  *log.Logger
+	log     *obs.Logger
+	metrics *obs.Registry
+	sm      *serverMetrics
+	traces  *obs.TraceRing
 	started time.Time
 	node    string
 	httpc   *http.Client // outbound fleet traffic (Config.Transport seam)
@@ -492,11 +522,22 @@ func New(cfg Config) *Server {
 	if counter == nil {
 		counter = &yieldsim.Counter{}
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.Default()
+	}
+	traceSize := cfg.TraceSize
+	if traceSize <= 0 {
+		traceSize = cfg.CacheSize
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:      cfg,
 		counter:  counter,
-		logger:   cfg.Log,
+		log:      obs.NewLogger(cfg.Log, cfg.LogLevel),
+		metrics:  reg,
+		sm:       newServerMetrics(reg),
+		traces:   obs.NewTraceRing(traceSize),
 		started:  time.Now(),
 		httpc:    &http.Client{Transport: cfg.Transport},
 		replica:  newReplica(cfg.CacheSize, cfg.Fleet.ShardCacheSize),
@@ -508,6 +549,12 @@ func New(cfg Config) *Server {
 		byKey:    make(map[string]*Job),
 		retained: list.New(),
 	}
+	// Scrape-time gauges: node-local views over live state. GaugeFuncs are
+	// excluded from fleet snapshots, so a merged scrape never double-counts
+	// them.
+	reg.GaugeFunc("service_queue_depth", func() float64 { return float64(len(s.queue)) })
+	reg.GaugeFunc("service_sims", func() float64 { return float64(s.counter.Total()) })
+	reg.GaugeFunc("service_uptime_seconds", func() float64 { return s.Uptime().Seconds() })
 	s.role = "single"
 	switch {
 	case cfg.Fleet.Coordinator:
@@ -523,7 +570,7 @@ func New(cfg Config) *Server {
 	case cfg.Backend != nil:
 		s.backend = cfg.Backend
 	case cfg.Fleet.Coordinator:
-		s.coord = newCoordinator(cfg.Fleet, cfg.Hooks, s.node, counter, cfg.Log)
+		s.coord = newCoordinator(cfg.Fleet, cfg.Hooks, s.node, counter, s.log.With("coord"), s.sm)
 		s.coord.onShardDone = s.replicateShardDone
 		s.backend = s.coord
 		if !cfg.Fleet.NoSelfWork {
@@ -540,7 +587,7 @@ func New(cfg Config) *Server {
 				// nil counter: the coordinator already counts every shard's
 				// sims from its reported result; a local counter here would
 				// double-count self-work.
-				runShardWorker(s.baseCtx, s.coord, s.node, cfg.Workers, nil, cfg.Log, s.drainCh)
+				runShardWorker(s.baseCtx, s.coord, s.node, cfg.Workers, nil, s.log.With("worker"), s.drainCh)
 			}()
 		}
 	default:
@@ -711,6 +758,7 @@ func (s *Server) yieldRun(key string, spec YieldSpec) func(context.Context, *Job
 	return func(ctx context.Context, j *Job) error {
 		if res, ok := s.replica.result(key); ok {
 			s.logf("job %s served from replicated result (key %q)", j.ID, key)
+			j.trace.Event("replicated-result", nil)
 			j.mu.Lock()
 			j.yield = res
 			j.mu.Unlock()
@@ -718,6 +766,10 @@ func (s *Server) yieldRun(key string, spec YieldSpec) func(context.Context, *Job
 		}
 		s.replicateToPeers(ReplicateRequest{Jobs: []ReplicatedJob{{Key: key, Spec: spec}}})
 		start := time.Now()
+		// The trace rides the context across the Backend seam so the shard
+		// scheduler (or a future backend) can attribute per-shard spans to
+		// this job without a signature change.
+		ctx = obs.ContextWithTrace(ctx, j.trace)
 		pass, err := s.getBackend().Yield(ctx, spec, func(done, pass int64) {
 			est := float64(pass) / float64(done)
 			j.setProgress(Progress{
@@ -804,8 +856,20 @@ func (s *Server) SubmitOptimize(req OptimizeRequest) (*Job, bool, error) {
 		opts.Workers = s.cfg.Workers
 		opts.Ctx = ctx
 		opts.Counter = jobCounter
+		// Generation spans are timed here, between callbacks: GenRecord
+		// carries no wall-clock fields by design (Results must stay
+		// bit-identical across runs), so the service supplies the clock.
+		genStart := start
+		var prevSims int64
 		opts.OnGeneration = func(r core.GenRecord) {
 			fold()
+			j.trace.Event("generation", func(sp *obs.Span) {
+				sp.DurationMS = sinceMS(genStart)
+				sp.Sims = r.CumSims - prevSims
+				sp.Node = s.node
+			})
+			genStart = time.Now()
+			prevSims = r.CumSims
 			j.setProgress(Progress{
 				Done:  int64(r.Gen),
 				Total: int64(req.MaxGens),
@@ -845,6 +909,11 @@ func (s *Server) add(kind, scenarioName, key string, run func(context.Context, *
 	if s.closed {
 		return nil, false, ErrClosed
 	}
+	if kind == "yield" {
+		s.sm.submittedYield.Inc()
+	} else {
+		s.sm.submittedOptimize.Inc()
+	}
 	if j, ok := s.byKey[key]; ok {
 		// Coalesce only onto a completed result or a genuinely live job. A
 		// job whose cancellation has been requested but has not yet
@@ -861,9 +930,15 @@ func (s *Server) add(kind, scenarioName, key string, run func(context.Context, *
 			if j.elem != nil {
 				s.retained.MoveToBack(j.elem)
 			}
+			if done {
+				s.sm.cacheHits.Inc()
+			} else {
+				s.sm.cacheCoalesced.Inc()
+			}
 			return j, true, nil
 		}
 	}
+	s.sm.cacheMisses.Inc()
 	s.seq++
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	j := &Job{
@@ -878,6 +953,9 @@ func (s *Server) add(kind, scenarioName, key string, run func(context.Context, *
 		state:    StateQueued,
 		created:  time.Now(),
 	}
+	j.trace = s.traces.New(j.ID, kind)
+	j.queueSpan = j.trace.Begin("queued", nil)
+	j.runSpan = -1
 	select {
 	case s.queue <- j:
 	default:
@@ -907,7 +985,11 @@ func (s *Server) runner() {
 			j.mu.Lock()
 			j.state = StateRunning
 			j.started = time.Now()
+			queued := j.started.Sub(j.created)
 			j.mu.Unlock()
+			j.trace.End(j.queueSpan, nil)
+			s.sm.queueSeconds.Observe(queued.Seconds())
+			j.runSpan = j.trace.Begin("run", func(sp *obs.Span) { sp.Node = s.node })
 			s.logf("job %s running", j.ID)
 			s.finalize(j, j.run(j.ctx, j))
 		}
@@ -938,9 +1020,17 @@ func (s *Server) finalize(j *Job, err error) {
 	}
 	j.run = nil // release the submit-time closure (problem instance, request copy)
 	state := j.state
+	started := j.started
 	j.mu.Unlock()
 	j.cancel() // release the context's resources in every path
 	close(j.done)
+	j.trace.End(j.queueSpan, nil) // no-op unless cancelled while still queued
+	j.trace.End(j.runSpan, nil)
+	j.trace.Event(string(state), nil)
+	if !started.IsZero() {
+		s.sm.runSeconds.Observe(time.Since(started).Seconds())
+	}
+	s.sm.jobState(state)
 	s.logf("job %s %s", j.ID, state)
 
 	s.mu.Lock()
@@ -958,8 +1048,7 @@ func (s *Server) finalize(j *Job, err error) {
 	}
 }
 
+// logf keeps the historical one-line-per-transition log shape at Info level.
 func (s *Server) logf(format string, args ...any) {
-	if s.logger != nil {
-		s.logger.Printf(format, args...)
-	}
+	s.log.Infof(format, args...)
 }

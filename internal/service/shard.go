@@ -23,11 +23,11 @@ package service
 import (
 	"context"
 	"fmt"
-	"log"
 	"sort"
 	"sync"
 	"time"
 
+	"github.com/eda-go/moheco/internal/obs"
 	"github.com/eda-go/moheco/internal/yieldsim"
 )
 
@@ -95,7 +95,10 @@ type shardState struct {
 	failures int       // structural failures reported
 	leasedTo string    // node holding the live lease ("" = pending)
 	deadline time.Time // lease expiry
+	enqueued time.Time // when the shard entered the queue (lease-wait metric)
 	pass     []int     // set on completion
+	node     string    // node that produced the accepted result
+	sims     int64     // simulator invocations the accepted result cost
 	err      error     // set when the shard is abandoned as failed
 	done     chan struct{}
 }
@@ -114,12 +117,32 @@ const leasePollWait = 2 * time.Second
 const maxShardFailures = 3
 
 // peerInfo is one fleet node as the coordinator tracks it: when it was
-// last seen (leasing, completing or heartbeating) and — for nodes that
-// announce one — the URL its API answers on, which is what makes the node
-// electable and a replication target.
+// last seen (leasing, completing or heartbeating), — for nodes that
+// announce one — the URL its API answers on (which is what makes the node
+// electable and a replication target), plus the observability piggyback:
+// the node's last metrics snapshot and a two-point cumulative-sims history
+// for the throughput estimate in FleetStatus.
 type peerInfo struct {
 	url  string
 	seen time.Time
+
+	metrics *obs.Snapshot // last heartbeat's piggybacked snapshot
+	// Cumulative sims at the last two heartbeats that moved the number;
+	// sims/sec over that interval is the node's reported throughput.
+	sims       int64
+	simsAt     time.Time
+	prevSims   int64
+	prevSimsAt time.Time
+}
+
+// rate returns the peer's simulations per second over its last heartbeat
+// interval (0 until two samples exist).
+func (p peerInfo) rate() float64 {
+	dt := p.simsAt.Sub(p.prevSimsAt).Seconds()
+	if dt <= 0 || p.sims < p.prevSims {
+		return 0
+	}
+	return float64(p.sims-p.prevSims) / dt
 }
 
 // Coordinator is the fleet scheduler and the Backend yield jobs run on
@@ -130,7 +153,8 @@ type peerInfo struct {
 type Coordinator struct {
 	node        string // the coordinator's own node name (excluded from peer counts)
 	counter     *yieldsim.Counter
-	logger      *log.Logger
+	logger      *obs.Logger
+	sm          *serverMetrics
 	lease       time.Duration
 	peerWindow  time.Duration // how long since last contact a peer counts as live
 	shardChunks int
@@ -148,7 +172,7 @@ type Coordinator struct {
 	wake    chan struct{}          // closed and replaced when pending gains work
 }
 
-func newCoordinator(cfg FleetConfig, hooks Hooks, node string, counter *yieldsim.Counter, logger *log.Logger) *Coordinator {
+func newCoordinator(cfg FleetConfig, hooks Hooks, node string, counter *yieldsim.Counter, logger *obs.Logger, sm *serverMetrics) *Coordinator {
 	lease := cfg.Lease
 	if lease <= 0 {
 		lease = 15 * time.Second
@@ -166,6 +190,7 @@ func newCoordinator(cfg FleetConfig, hooks Hooks, node string, counter *yieldsim
 		node:        node,
 		counter:     counter,
 		logger:      logger,
+		sm:          sm,
 		lease:       lease,
 		peerWindow:  4 * hb,
 		shardChunks: chunks,
@@ -190,22 +215,47 @@ func (c *Coordinator) touchPeerLocked(node string) {
 // seen within the liveness window, sorted by node name — the exact table a
 // hand-off election runs over, so every worker always holds a fresh copy.
 func (c *Coordinator) Heartbeat(req HeartbeatRequest) HeartbeatResponse {
+	c.sm.heartbeats.Inc()
 	c.mu.Lock()
 	switch {
 	case req.Leaving:
 		delete(c.peers, req.Node)
-		c.logf("peer %s left the fleet", req.Node)
+		c.logger.Infof("peer %s left the fleet", req.Node)
 	case req.Node != "":
 		p := c.peers[req.Node]
 		p.seen = time.Now()
 		if req.URL != "" {
 			p.url = req.URL
 		}
+		if req.Metrics != nil {
+			p.metrics = req.Metrics
+		}
+		if req.Sims != p.sims || p.simsAt.IsZero() {
+			p.prevSims, p.prevSimsAt = p.sims, p.simsAt
+			p.sims, p.simsAt = req.Sims, time.Now()
+		}
 		c.peers[req.Node] = p
 	}
 	resp := HeartbeatResponse{Node: c.node, Peers: c.livePeersLocked()}
 	c.mu.Unlock()
 	return resp
+}
+
+// mergedSnapshot folds the stored metrics snapshots of every live peer into
+// local — the fleet-wide view behind GET /metrics?fleet=1. Counters and
+// histogram buckets sum across nodes; gauge funcs never enter snapshots, so
+// scrape-time node-local gauges are not double-counted.
+func (c *Coordinator) mergedSnapshot(local obs.Snapshot) obs.Snapshot {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for node, p := range c.peers {
+		if node == c.node || p.metrics == nil || now.Sub(p.seen) > c.peerWindow {
+			continue
+		}
+		local.Merge(*p.metrics)
+	}
+	return local
 }
 
 // livePeers returns the URL-bearing peers seen within the liveness window,
@@ -264,13 +314,32 @@ func (c *Coordinator) Yield(ctx context.Context, spec YieldSpec, progress func(d
 	)
 	counts := make([][]int, len(plans))
 	errs := make([]error, len(plans))
+	tr := obs.TraceFrom(ctx) // nil outside a traced job; every span call no-ops
 	for i, pl := range plans {
 		wg.Add(1)
 		go func(i int, pl plan) {
 			defer wg.Done()
 			shardSamples := int64(min(pl.last*yieldsim.ChunkSize, spec.N) - pl.first*yieldsim.ChunkSize)
-			v, _, err := c.cache.Do(ctx, shardKey(spec, pl.first, pl.last), func() ([]int, error) {
-				return c.runShard(ctx, spec, pl.first, pl.last)
+			span := tr.Begin("shard", func(sp *obs.Span) {
+				sp.Samples = shardSamples
+				sp.Attrs = map[string]string{"chunks": fmt.Sprintf("[%d,%d)", pl.first, pl.last)}
+			})
+			var execNode string
+			var execSims int64
+			v, cached, err := c.cache.Do(ctx, shardKey(spec, pl.first, pl.last), func() ([]int, error) {
+				pass, node, sims, err := c.runShard(ctx, spec, pl.first, pl.last)
+				execNode, execSims = node, sims
+				return pass, err
+			})
+			if cached {
+				c.sm.warmShardHits.Inc()
+			}
+			tr.End(span, func(sp *obs.Span) {
+				sp.Node = execNode
+				sp.Sims = execSims
+				if cached {
+					sp.Attrs["cached"] = "true"
+				}
 			})
 			if err != nil {
 				errs[i] = err
@@ -308,30 +377,32 @@ func (c *Coordinator) Yield(ctx context.Context, spec YieldSpec, progress func(d
 }
 
 // runShard enqueues one shard and blocks until a node completes it or ctx
-// is cancelled. It is always called as a cache.Do leader, so at most one
-// live shard exists per shard key.
-func (c *Coordinator) runShard(ctx context.Context, spec YieldSpec, first, last int) ([]int, error) {
+// is cancelled, reporting which node produced the result and what it cost.
+// It is always called as a cache.Do leader, so at most one live shard
+// exists per shard key.
+func (c *Coordinator) runShard(ctx context.Context, spec YieldSpec, first, last int) ([]int, string, int64, error) {
 	c.mu.Lock()
 	c.seq++
 	st := &shardState{
-		Shard: Shard{ID: fmt.Sprintf("s%08d", c.seq), Spec: spec, First: first, Last: last},
-		done:  make(chan struct{}),
+		Shard:    Shard{ID: fmt.Sprintf("s%08d", c.seq), Spec: spec, First: first, Last: last},
+		enqueued: time.Now(),
+		done:     make(chan struct{}),
 	}
 	c.pending = append(c.pending, st)
 	c.byID[st.ID] = st
 	c.wakeLocked()
 	c.mu.Unlock()
-	c.logf("shard %s chunks [%d,%d) of %s queued", st.ID, first, last, spec.Scenario)
+	c.logger.Debugf("shard %s chunks [%d,%d) of %s queued", st.ID, first, last, spec.Scenario)
 
 	select {
 	case <-st.done:
 		if st.err != nil {
-			return nil, st.err
+			return nil, "", 0, st.err
 		}
-		return st.pass, nil
+		return st.pass, st.node, st.sims, nil
 	case <-ctx.Done():
 		c.withdraw(st)
-		return nil, ctx.Err()
+		return nil, "", 0, ctx.Err()
 	}
 }
 
@@ -369,15 +440,19 @@ func (c *Coordinator) LeaseShards(ctx context.Context, node string, max int) ([]
 		for len(out) < max && len(c.pending) > 0 {
 			st := c.pending[0]
 			c.pending = c.pending[1:]
+			if st.attempts == 0 && !st.enqueued.IsZero() {
+				c.sm.leaseWaitSeconds.Observe(time.Since(st.enqueued).Seconds())
+			}
 			st.leasedTo = node
 			st.deadline = time.Now().Add(c.lease)
 			st.attempts++
+			c.sm.shardsLeased.Inc()
 			out = append(out, st.Shard)
 		}
 		wake := c.wake
 		c.mu.Unlock()
 		if len(out) > 0 {
-			c.logf("leased %d shard(s) to %s", len(out), node)
+			c.logger.Debugf("leased %d shard(s) to %s", len(out), node)
 			if c.hooks.ShardLeased != nil {
 				for _, sh := range out {
 					c.hooks.ShardLeased(node, sh)
@@ -410,7 +485,8 @@ func (c *Coordinator) CompleteShard(_ context.Context, id string, res ShardResul
 	st, ok := c.byID[id]
 	if !ok {
 		c.mu.Unlock()
-		c.logf("shard %s completion from %s is stale", id, res.Node)
+		c.sm.shardsStale.Inc()
+		c.logger.Debugf("shard %s completion from %s is stale", id, res.Node)
 		if c.hooks.ShardCompleted != nil {
 			c.hooks.ShardCompleted(id, true)
 		}
@@ -422,6 +498,7 @@ func (c *Coordinator) CompleteShard(_ context.Context, id string, res ShardResul
 			reason = fmt.Sprintf("malformed result: %d counts for %d chunks", len(res.Pass), st.Last-st.First)
 		}
 		st.failures++
+		c.sm.shardsFailed.Inc()
 		if st.failures >= maxShardFailures {
 			delete(c.byID, id)
 			st.err = fmt.Errorf("service: shard %s (chunks [%d,%d)) failed %d times, last on %s: %s",
@@ -436,14 +513,17 @@ func (c *Coordinator) CompleteShard(_ context.Context, id string, res ShardResul
 		c.pending = append([]*shardState{st}, c.pending...)
 		c.wakeLocked()
 		c.mu.Unlock()
-		c.logf("shard %s failed on %s (%s), requeued", id, res.Node, reason)
+		c.logger.Warnf("shard %s failed on %s (%s), requeued", id, res.Node, reason)
 		return nil
 	}
 	delete(c.byID, id)
 	st.pass = res.Pass
+	st.node = res.Node
+	st.sims = res.Sims
 	c.mu.Unlock()
+	c.sm.shardsCompleted.Inc()
 	close(st.done)
-	c.logf("shard %s completed by %s", id, res.Node)
+	c.logger.Debugf("shard %s completed by %s", id, res.Node)
 	if c.onShardDone != nil {
 		c.onShardDone(shardKey(st.Spec, st.First, st.Last), res.Pass)
 	}
@@ -458,7 +538,8 @@ func (c *Coordinator) redispatchExpiredLocked() {
 	now := time.Now()
 	for _, st := range c.byID {
 		if st.leasedTo != "" && now.After(st.deadline) {
-			c.logf("shard %s lease on %s expired, re-dispatching", st.ID, st.leasedTo)
+			c.logger.Warnf("shard %s lease on %s expired, re-dispatching", st.ID, st.leasedTo)
+			c.sm.shardsRedispatched.Inc()
 			st.leasedTo = ""
 			st.deadline = time.Time{}
 			c.pending = append([]*shardState{st}, c.pending...)
@@ -472,27 +553,73 @@ func (c *Coordinator) wakeLocked() {
 	c.wake = make(chan struct{})
 }
 
-func (c *Coordinator) logf(format string, args ...any) {
-	if c.logger != nil {
-		c.logger.Printf(format, args...)
-	}
-}
-
-// FleetStatus is the /healthz fleet block: the node's role and name, which
-// node currently coordinates, how many distinct peers are active, on a
-// coordinator the shard scheduler's queue and cache state, and the node's
+// FleetStatus is the /healthz fleet block (and the GET /v1/fleet/status
+// payload): the node's role and name, which node currently coordinates, how
+// many distinct peers are active, on a coordinator the shard scheduler's
+// queue and cache state plus per-peer throughput, and the node's
 // replicated-state counts (what a hand-off to this node could resume).
 type FleetStatus struct {
-	Role            string `json:"role"`
-	Node            string `json:"node"`
-	CoordinatorNode string `json:"coordinator_node,omitempty"`
-	Peers           int    `json:"peers"`
-	PendingShards   int    `json:"pending_shards,omitempty"`
-	LeasedShards    int    `json:"leased_shards,omitempty"`
-	CachedShards    int    `json:"cached_shards,omitempty"`
-	ReplJobs        int    `json:"repl_jobs,omitempty"`
-	ReplResults     int    `json:"repl_results,omitempty"`
-	ReplShards      int    `json:"repl_shards,omitempty"`
+	Role            string     `json:"role"`
+	Node            string     `json:"node"`
+	CoordinatorNode string     `json:"coordinator_node,omitempty"`
+	Peers           int        `json:"peers"`
+	PendingShards   int        `json:"pending_shards,omitempty"`
+	LeasedShards    int        `json:"leased_shards,omitempty"`
+	CachedShards    int        `json:"cached_shards,omitempty"`
+	ReplJobs        int        `json:"repl_jobs,omitempty"`
+	ReplResults     int        `json:"repl_results,omitempty"`
+	ReplShards      int        `json:"repl_shards,omitempty"`
+	PeerStats       []PeerStat `json:"peer_stats,omitempty"`
+}
+
+// PeerStat is a coordinator's view of one fleet peer: cumulative
+// simulations it has announced, its simulations-per-second over the last
+// heartbeat interval, and whether it currently looks like a straggler
+// (under half the fleet's median positive rate — the node to look at when
+// a job's tail is slow).
+type PeerStat struct {
+	Node       string  `json:"node"`
+	URL        string  `json:"url,omitempty"`
+	Sims       int64   `json:"sims"`
+	SimsPerSec float64 `json:"sims_per_sec"`
+	LastSeenMS float64 `json:"last_seen_ms"`
+	Straggler  bool    `json:"straggler,omitempty"`
+}
+
+// peerStatsLocked derives the PeerStat table from the peer map. Straggler
+// detection needs at least two rate-bearing peers: with one there is no
+// fleet to straggle behind.
+func (c *Coordinator) peerStatsLocked(window time.Duration) []PeerStat {
+	now := time.Now()
+	var stats []PeerStat
+	var rates []float64
+	for node, p := range c.peers {
+		if node == c.node || now.Sub(p.seen) > window {
+			continue
+		}
+		r := p.rate()
+		stats = append(stats, PeerStat{
+			Node:       node,
+			URL:        p.url,
+			Sims:       p.sims,
+			SimsPerSec: r,
+			LastSeenMS: sinceMS(p.seen),
+		})
+		if r > 0 {
+			rates = append(rates, r)
+		}
+	}
+	sort.Slice(stats, func(i, j int) bool { return stats[i].Node < stats[j].Node })
+	if len(rates) >= 2 {
+		sort.Float64s(rates)
+		median := rates[len(rates)/2]
+		for i := range stats {
+			if stats[i].SimsPerSec > 0 && stats[i].SimsPerSec < median/2 {
+				stats[i].Straggler = true
+			}
+		}
+	}
+	return stats
 }
 
 // Fleet reports the server's fleet status. Peers counts, for a
@@ -523,6 +650,7 @@ func (s *Server) Fleet() FleetStatus {
 		}
 		fs.PendingShards = len(c.pending)
 		fs.LeasedShards = len(c.byID) - len(c.pending)
+		fs.PeerStats = c.peerStatsLocked(window)
 		c.mu.Unlock()
 		fs.CachedShards = c.cache.Len()
 	}

@@ -11,10 +11,10 @@ package service
 
 import (
 	"context"
-	"log"
 	"math/rand"
 	"time"
 
+	"github.com/eda-go/moheco/internal/obs"
 	"github.com/eda-go/moheco/internal/yieldsim"
 )
 
@@ -36,7 +36,7 @@ const (
 // coordinator's fleet-wide count is fed separately from the reported
 // ShardResult.Sims, so the in-process self-runner passes nil to avoid
 // double counting.
-func runShardWorker(ctx context.Context, src shardSource, node string, workers int, counter *yieldsim.Counter, logger *log.Logger, drain <-chan struct{}) {
+func runShardWorker(ctx context.Context, src shardSource, node string, workers int, counter *yieldsim.Counter, logger *obs.Logger, drain <-chan struct{}) {
 	leaseCtx := ctx
 	if drain != nil {
 		var cancel context.CancelFunc
@@ -66,9 +66,7 @@ func runShardWorker(ctx context.Context, src shardSource, node string, workers i
 				backoff = leaseBackoffCap
 			}
 			sleep := backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1))
-			if logger != nil {
-				logger.Printf("worker %s: lease failed (%v), retrying in %s", node, err, sleep)
-			}
+			logger.Debugf("worker %s: lease failed (%v), retrying in %s", node, err, sleep)
 			select {
 			case <-leaseCtx.Done():
 				return
@@ -85,8 +83,8 @@ func runShardWorker(ctx context.Context, src shardSource, node string, workers i
 				// failure budget.
 				return
 			}
-			if err := src.CompleteShard(ctx, sh.ID, res); err != nil && logger != nil {
-				logger.Printf("worker %s: completing shard %s failed: %v", node, sh.ID, err)
+			if err := src.CompleteShard(ctx, sh.ID, res); err != nil {
+				logger.Warnf("worker %s: completing shard %s failed: %v", node, sh.ID, err)
 			}
 		}
 	}

@@ -121,6 +121,7 @@ func (e *Engine) AC(op *OPResult, freqs []float64) (*ACResult, error) {
 		if err != nil {
 			return nil, fmt.Errorf("spice: AC solve at %g Hz: %w", f, err)
 		}
+		mFactorizations.Inc() // one complex factorization per frequency point
 		vk := backing[k*nodes : (k+1)*nodes]
 		for i := 1; i < nodes; i++ {
 			vk[i] = x[row(i)]

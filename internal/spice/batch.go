@@ -116,6 +116,19 @@ func (e *Engine) newtonBatch(bs *batchScratch, st []laneState, ctx stampCtx, set
 			nLive++
 		}
 	}
+	if nLive > 0 {
+		mLockstepLanes.Observe(float64(nLive))
+	}
+	defer func() {
+		var iterSum int64
+		for l := range st {
+			if st[l].active {
+				iterSum += int64(rs[l].iters)
+			}
+		}
+		mNewtonIters.Add(iterSum)
+		mFactorizations.Add(iterSum)
+	}()
 	vals := bs.A.Values()
 	for iter := 1; iter <= e.opts.MaxIter; iter++ {
 		if nLive == 0 {
@@ -461,6 +474,7 @@ func (e *Engine) ACBatch(ops []*OPResult, freqs []float64, set LaneSetter) ([]*A
 		}
 		copy(bs.xc, bs.rhs[:n*k])
 		serrs := bs.Y.FactorSolve(bs.xc)
+		mFactorizations.Add(int64(nLive)) // scalar-equivalent: one per live lane per point
 		for l := 0; l < k; l++ {
 			if !live[l] {
 				continue

@@ -15,10 +15,22 @@ import (
 	"github.com/eda-go/moheco/internal/linalg/sparse"
 	"github.com/eda-go/moheco/internal/mos"
 	"github.com/eda-go/moheco/internal/netlist"
+	"github.com/eda-go/moheco/internal/obs"
 )
 
 // debugSpice enables per-iteration Newton traces via MOHECO_SPICE_DEBUG=1.
 var debugSpice = os.Getenv("MOHECO_SPICE_DEBUG") == "1"
+
+// Solver work counters. Lockstep lanes count scalar-equivalent work (a
+// batched iteration that advances l live lanes counts l), so the totals are
+// comparable across the scalar and batch paths; the lane histogram records
+// live-lane occupancy per batched Newton run — low occupancy means the
+// lockstep width is wasted on retired lanes.
+var (
+	mNewtonIters    = obs.Default().Counter("spice_newton_iterations_total")
+	mFactorizations = obs.Default().Counter("spice_factorizations_total")
+	mLockstepLanes  = obs.Default().Histogram("spice_lockstep_lanes", []float64{1, 2, 4, 8, 16, 32})
+)
 
 // ErrNoConvergence reports that the DC solver could not find an operating
 // point. The yield machinery treats this as a failed sample, mirroring how a
@@ -378,8 +390,15 @@ type stampCtx struct {
 // pattern) and the step vector shares the RHS buffer, so one iteration
 // allocates nothing.
 func (e *Engine) newton(x []float64, ctx stampCtx) (int, error) {
+	iters := 0
+	defer func() {
+		// Each iteration factors and solves once, converged or not.
+		mNewtonIters.Add(int64(iters))
+		mFactorizations.Add(int64(iters))
+	}()
 	F, dx := e.scrF, e.scrDX
 	for iter := 1; iter <= e.opts.MaxIter; iter++ {
+		iters = iter
 		var vals []float64
 		if e.spA != nil {
 			e.spA.Zero()

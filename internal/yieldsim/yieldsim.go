@@ -22,13 +22,27 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/eda-go/moheco/internal/engine"
+	"github.com/eda-go/moheco/internal/obs"
 	"github.com/eda-go/moheco/internal/problem"
 	"github.com/eda-go/moheco/internal/randx"
 	"github.com/eda-go/moheco/internal/sample"
 	"github.com/eda-go/moheco/internal/stats"
 )
+
+// mChunkSeconds observes the wall time of one reference-estimator chunk
+// (ChunkSize samples): the latency unit the fleet shards on. Side-channel
+// accounting only — never part of the estimate.
+var mChunkSeconds = obs.Default().Histogram("yieldsim_chunk_seconds", nil)
+
+// simsCounter returns the per-(scenario, sampler) simulated-samples
+// counter. Resolved once per candidate / ChunkPass call, then lock-free.
+func simsCounter(scenario, sampler string) *obs.Counter {
+	return obs.Default().Counter("yieldsim_samples_simulated_total",
+		"scenario", scenario, "sampler", sampler)
+}
 
 // Counter counts simulator invocations across an experiment. It is safe for
 // concurrent use.
@@ -113,6 +127,7 @@ type Candidate struct {
 	cfg     Config
 	counter *Counter
 	rng     *randx.Stream
+	mSims   *obs.Counter // per-(scenario, sampler) simulated-samples metric
 
 	r0       float64 // interior/border split radius
 	interior stratum
@@ -131,6 +146,7 @@ func NewCandidate(p problem.Problem, x []float64, cfg Config, counter *Counter, 
 		rng:     randx.New(seed),
 	}
 	c.r0 = c.cfg.ASRadiusFactor * math.Sqrt(float64(p.VarDim()))
+	c.mSims = simsCounter(p.Name(), c.cfg.Sampler.Name())
 	return c
 }
 
@@ -241,6 +257,7 @@ func (c *Candidate) AddSamples(n int) error {
 		if c.counter != nil {
 			c.counter.Add(int64(hi - lo))
 		}
+		c.mSims.Add(int64(hi - lo))
 		copy(pass[lo:hi], ok)
 		chunkDone[ci] = true
 		return nil
@@ -392,6 +409,7 @@ func ChunkPass(ctx context.Context, p problem.Problem, x []float64, n int, seed 
 	if sampler == nil {
 		sampler = sample.PMC{}
 	}
+	mSims := simsCounter(p.Name(), sampler.Name())
 	var (
 		progressMu sync.Mutex
 		doneCum    int64
@@ -399,6 +417,7 @@ func ChunkPass(ctx context.Context, p problem.Problem, x []float64, n int, seed 
 	)
 	return engine.MapCtx(ctx, o.Workers, last-first, func(i int) (int, error) {
 		cr := Chunk(n, first+i)
+		t0 := time.Now()
 		rng := randx.New(randx.DeriveSeed(seed, uint64(cr.Index)))
 		pts := sampler.Draw(rng, cr.Hi-cr.Lo, p.VarDim())
 		// One batch evaluation per chunk: a BatchEvaluator problem keeps
@@ -413,6 +432,8 @@ func ChunkPass(ctx context.Context, p problem.Problem, x []float64, n int, seed 
 		if o.Counter != nil {
 			o.Counter.Add(int64(cr.Hi - cr.Lo))
 		}
+		mSims.Add(int64(cr.Hi - cr.Lo))
+		mChunkSeconds.Observe(time.Since(t0).Seconds())
 		pass := 0
 		for _, v := range ok {
 			if v {
