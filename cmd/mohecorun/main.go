@@ -4,13 +4,16 @@
 //
 // Usage:
 //
-//	mohecorun [-problem NAME] [-method NAME] [-maxsims N] [-seed S]
-//	          [-maxgens N] [-ref N] [-workers N] [-trace]
+//	mohecorun [-problem NAME] [-method NAME] [-optimizer NAME] [-maxsims N]
+//	          [-seed S] [-maxgens N] [-ref N] [-workers N] [-trace]
 //	          [-tstop T] [-tstep T] [-tranmode adaptive|fixed]
 //	          [-timeout DUR] [-server URL[,URL...]]
 //
 // Problems come from the scenario registry (-h lists them); methods are
-// moheco, oo and fixed. The -tstop/-tstep/-tranmode flags override the
+// moheco, oo and fixed. -optimizer picks the search backend driving the
+// estimation flow: memetic (the paper's DE+NM loop, default) or lineasybo
+// (one-dimensional-subspace Bayesian optimization); -h lists the registered
+// names. The -tstop/-tstep/-tranmode flags override the
 // transient window of a time-domain problem (an error on problems without
 // one). With -server, the optimization runs on a mohecod daemon
 // (bit-identical result at the same request; -trace, -fixedsims and the
@@ -28,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	moheco "github.com/eda-go/moheco"
@@ -40,6 +44,7 @@ func main() {
 	var (
 		probName = flag.String("problem", "foldedcascode", "registered problem name (see -h)")
 		method   = flag.String("method", "moheco", "moheco | oo | fixed")
+		backend  = flag.String("optimizer", "", "search backend: "+strings.Join(moheco.Backends(), " | ")+" (default memetic)")
 		maxSims  = flag.Int("maxsims", 0, "stage-2 / per-candidate sample budget (0 = problem default)")
 		fixed    = flag.Int("fixedsims", 0, "fixed-budget per-candidate samples (fixed method; default maxsims)")
 		seed     = flag.Uint64("seed", 1, "random seed")
@@ -100,6 +105,7 @@ func main() {
 	}
 
 	opts := moheco.DefaultOptions(m, *maxSims)
+	opts.Backend = *backend
 	opts.Seed = *seed
 	opts.MaxGenerations = *maxGens
 	opts.Workers = *workers
@@ -108,18 +114,23 @@ func main() {
 		opts.FixedSims = *fixed
 	}
 
+	shownBackend := *backend
+	if shownBackend == "" {
+		shownBackend = "memetic"
+	}
 	fmt.Printf("problem : %s (%d design variables, %d process variables)\n",
 		p.Name(), p.Dim(), p.VarDim())
-	fmt.Printf("method  : %s (stage-2 budget %d)\n", m, *maxSims)
+	fmt.Printf("method  : %s (stage-2 budget %d, %s search)\n", m, *maxSims, shownBackend)
 	start := time.Now()
 	var res *moheco.Result
 	if *server != "" {
 		st, cerr := service.NewClient(*server).Optimize(ctx, service.OptimizeRequest{
-			Scenario: *probName,
-			Method:   *method,
-			MaxSims:  *maxSims,
-			MaxGens:  *maxGens,
-			Seed:     seed,
+			Scenario:  *probName,
+			Method:    *method,
+			Optimizer: *backend,
+			MaxSims:   *maxSims,
+			MaxGens:   *maxGens,
+			Seed:      seed,
 		})
 		if cerr != nil {
 			fatalCtx(ctx, cerr)
@@ -128,6 +139,7 @@ func main() {
 		res = &moheco.Result{
 			Problem:     p.Name(),
 			Method:      m,
+			Backend:     o.Optimizer,
 			BestX:       o.BestX,
 			BestYield:   o.BestYield,
 			BestSamples: o.BestSamples,

@@ -9,7 +9,10 @@
 // By default it runs the full paper-scale configuration (10 runs per
 // method, 50,000-sample references). -quick switches to the reduced
 // configuration used by the benchmarks. -only selects a comma-separated
-// subset of {table12, table34, fig3, fig6, rsb}.
+// subset of {table12, table34, fig3, fig6, rsb}. -racejson runs the
+// equal-budget optimizer race instead (backends × scenarios × repeat
+// seeds under one simulation cap) and writes the BENCH_optimizers.json
+// artifact.
 package main
 
 import (
@@ -40,6 +43,12 @@ func main() {
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		benchJS = flag.String("benchjson", "", "run the spice-path benchmark set and write a BENCH_eval.json perf snapshot to this file (CI artifact schema), then exit")
+		raceJS  = flag.String("racejson", "", "run the equal-budget optimizer race and write BENCH_optimizers.json to this file, then exit")
+		raceBgt = flag.Int64("racebudget", 2000, "per-run simulation cap for the optimizer race")
+		raceBk  = flag.String("racebackends", "", "comma-separated backends to race (empty = all registered)")
+		raceSc  = flag.String("racescenarios", "", "comma-separated scenarios to race (empty = all registered)")
+		raceGen = flag.Int("racegens", 0, "generation/round cap per race run (0 = optimizer default)")
+		raceMS  = flag.Int("racemaxsims", 0, "stage-2 per-candidate budget in the race (0 = scenario default); smaller values tighten budget adherence")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: paperbench [flags]\n\n")
@@ -72,6 +81,56 @@ func main() {
 		if err := f.Close(); err != nil {
 			fatal(err)
 		}
+		stopProfiles()
+		return
+	}
+
+	if *raceJS != "" {
+		// Equal-budget optimizer race: every backend runs the same scenarios
+		// from the same repeat seeds under the same simulation cap, and the
+		// comparison is yield at budget (exp.RunRace). The JSON artifact is
+		// the BENCH_optimizers.json snapshot CI uploads next to the others.
+		rcfg := exp.RaceConfig{
+			SimBudget: *raceBgt,
+			Repeats:   *runs,
+			MaxSims:   *raceMS,
+			MaxGens:   *raceGen,
+			Seed:      *seed,
+			Workers:   *work,
+		}
+		if rcfg.Repeats <= 0 {
+			rcfg.Repeats = 3
+		}
+		if rcfg.Seed == 0 {
+			rcfg.Seed = 1
+		}
+		if *raceBk != "" {
+			rcfg.Backends = splitList(*raceBk)
+		}
+		if *raceSc != "" {
+			rcfg.Scenarios = splitList(*raceSc)
+		}
+		if *verb {
+			rcfg.Progress = os.Stderr
+		}
+		res, err := exp.RunRace(rcfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		res.Render(os.Stdout)
+		f, err := os.Create(*raceJS)
+		if err != nil {
+			fatal(err)
+		}
+		if err := res.WriteJSON(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		writeCSV(*csvDir, "race.csv", res.WriteCSV)
 		stopProfiles()
 		return
 	}
@@ -172,6 +231,17 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "paperbench:", err)
 	os.Exit(1)
+}
+
+// splitList parses a comma-separated flag value, trimming blanks.
+func splitList(s string) []string {
+	var out []string
+	for _, v := range strings.Split(s, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
 }
 
 // writeCSV writes one CSV artifact when -csv is set.

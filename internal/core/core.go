@@ -19,22 +19,22 @@
 // All methods use DE/best/1/bin, selection-based constraint handling,
 // acceptance sampling and LHS, exactly as the paper prescribes for its
 // comparisons.
+//
+// The estimation machinery is independent of the search strategy: a
+// SearchContext bundles the nominal screen, the two-stage/fixed-budget
+// estimator, the candidate factory and the stage-2 top-up, and pluggable
+// Optimizer backends (see RegisterOptimizer) drive the search on top of it.
+// The paper's memetic DE+NM loop is the "memetic" backend and the default;
+// internal/lineasybo contributes a one-dimensional-subspace Bayesian
+// optimization backend for equal-budget comparisons.
 package core
 
 import (
 	"context"
 	"fmt"
-	"time"
 
-	"github.com/eda-go/moheco/internal/constraint"
-	"github.com/eda-go/moheco/internal/de"
-	"github.com/eda-go/moheco/internal/engine"
-	"github.com/eda-go/moheco/internal/nm"
 	"github.com/eda-go/moheco/internal/obs"
-	"github.com/eda-go/moheco/internal/ocba"
-	"github.com/eda-go/moheco/internal/oo"
 	"github.com/eda-go/moheco/internal/problem"
-	"github.com/eda-go/moheco/internal/randx"
 	"github.com/eda-go/moheco/internal/sample"
 	"github.com/eda-go/moheco/internal/yieldsim"
 )
@@ -49,7 +49,7 @@ var (
 	mGenSeconds  = obs.Default().Histogram("core_generation_seconds", nil)
 )
 
-// Method selects the estimation/search strategy.
+// Method selects the estimation strategy.
 type Method int
 
 // The compared methods.
@@ -82,6 +82,10 @@ func (m Method) String() string {
 type Options struct {
 	Method Method
 
+	// Backend names the registered search backend (see Backends). Empty
+	// means "memetic" — the paper's DE+NM loop.
+	Backend string
+
 	// Evolutionary parameters (paper §3: 50 / 0.8 / 0.8).
 	PopSize int
 	F       float64
@@ -109,6 +113,15 @@ type Options struct {
 	TargetYield    float64
 	StallStop      int
 	MaxGenerations int
+
+	// SimBudget, when positive, caps the run's total simulator calls
+	// (relative to the counter's value at start): backends stop with
+	// StopReason "budget" at the first generation boundary at or past the
+	// cap. This is the equal-budget race knob — every backend spends the
+	// same simulation budget, whatever its per-generation appetite. The
+	// final report's accuracy top-up still runs, so TotalSims may end
+	// slightly above the cap; races compare yield at the recorded spend.
+	SimBudget int64
 
 	// Sampling configuration.
 	Sampler            sample.Sampler
@@ -158,6 +171,7 @@ type Options struct {
 func DefaultOptions(method Method, maxSims int) Options {
 	return Options{
 		Method:             method,
+		Backend:            DefaultBackend,
 		PopSize:            50,
 		F:                  0.8,
 		CR:                 0.8,
@@ -178,6 +192,9 @@ func DefaultOptions(method Method, maxSims int) Options {
 }
 
 func (o Options) withDefaults() Options {
+	if o.Backend == "" {
+		o.Backend = DefaultBackend
+	}
 	if o.PopSize == 0 {
 		o.PopSize = 50
 	}
@@ -248,6 +265,7 @@ type GenRecord struct {
 type Result struct {
 	Problem     string
 	Method      Method
+	Backend     string // search backend that produced the result
 	BestX       []float64
 	BestYield   float64 // the reported yield (final-accuracy estimate)
 	BestSamples int     // MC samples behind the reported yield
@@ -259,403 +277,12 @@ type Result struct {
 	NMTriggers  int
 }
 
-// member is one population slot.
-type member struct {
-	x    []float64
-	fit  constraint.Fitness
-	cand *yieldsim.Candidate // nil while infeasible
-}
-
-// Optimize runs the configured method on the problem.
+// Optimize runs the configured backend and estimation method on the problem.
 func Optimize(p problem.Problem, opts Options) (*Result, error) {
 	o := opts.withDefaults()
-	cfg := de.Config{NP: o.PopSize, F: o.F, CR: o.CR}
-	if err := cfg.Validate(); err != nil {
+	backend, err := optimizerFor(o.Backend)
+	if err != nil {
 		return nil, err
 	}
-	lo, hi := p.Bounds()
-	rng := randx.New(o.Seed)
-	counter := o.Counter
-	if counter == nil {
-		counter = &yieldsim.Counter{}
-	}
-	// A host-shared counter may start non-zero; per-run accounting
-	// (GenRecord.CumSims, Result.TotalSims) is relative to this base.
-	simBase := counter.Total()
-	// Candidates are created with sequential batches; each evaluation
-	// path retunes them via SetWorkers — the population estimate splits
-	// the pool between its cross-candidate fan-out and the candidates'
-	// own batches (engine.Split), while single-candidate paths (the best
-	// member's stage-2 top-up, the Nelder–Mead probes) take the full
-	// pool. Nesting two full-width pools would multiply the goroutine
-	// count without adding throughput.
-	ycfg := yieldsim.Config{
-		Sampler:            o.Sampler,
-		AcceptanceSampling: o.AcceptanceSampling,
-		Workers:            1,
-		Ctx:                o.Ctx,
-	}
-	manager := &oo.Manager{
-		N0: o.N0, SimAve: o.SimAve, Delta: o.Delta,
-		MaxSims: o.MaxSims, Threshold: o.Threshold,
-		Workers: o.Workers,
-	}
-	candSeq := uint64(0)
-	newCandidate := func(x []float64) *yieldsim.Candidate {
-		candSeq++
-		return yieldsim.NewCandidate(p, x, ycfg, counter, randx.DeriveSeed(o.Seed, 0x5eed, candSeq))
-	}
-	nominal := func(x []float64) constraint.Fitness {
-		fit, _, _ := problem.NominalFitness(p, x)
-		counter.Add(1)
-		return fit
-	}
-	// screen computes every member's nominal fitness on the worker pool:
-	// the checks are independent and the simulation counter is atomic.
-	screen := func(ms []*member) error {
-		return engine.ForEachNCtx(o.Ctx, o.Workers, len(ms), func(i int) error {
-			ms[i].fit = nominal(ms[i].x)
-			return nil
-		})
-	}
-
-	// estimate runs the method's yield estimation over feasible members.
-	estimate := func(ms []*member) error {
-		feas := make([]*member, 0, len(ms))
-		for _, m := range ms {
-			if m.fit.Feasible {
-				feas = append(feas, m)
-			}
-		}
-		if len(feas) == 0 {
-			return nil
-		}
-		for _, m := range feas {
-			m.cand = newCandidate(m.x)
-		}
-		// Split the pool between the cross-candidate fan-out and each
-		// candidate's own sample batches. This helps the paths whose
-		// batches clear yieldsim's parallel threshold — fixed-budget
-		// estimation and large stage-2 promotions with few feasible
-		// candidates; small stage-1 batches (n0 warm-ups, OCBA
-		// increments) stay sequential inside each candidate regardless,
-		// so sparse-feasible OO generations remain bounded by
-		// SimAve·len(feas) sequential sims.
-		inner := engine.Split(o.Workers, len(feas))
-		for _, m := range feas {
-			m.cand.SetWorkers(inner)
-		}
-		switch o.Method {
-		case MethodFixedBudget:
-			// Candidates sample independent streams: evaluate in parallel.
-			if err := sampleAll(o.Ctx, feas, o.Workers, o.FixedSims); err != nil {
-				return err
-			}
-		default:
-			// The initial n0 samples per candidate are independent; the
-			// OCBA rounds that follow parallelize within each round.
-			if err := sampleAll(o.Ctx, feas, o.Workers, o.N0); err != nil {
-				return err
-			}
-			group := make([]ocba.Candidate, len(feas))
-			for i, m := range feas {
-				group[i] = m.cand
-			}
-			if _, err := manager.Evaluate(group); err != nil {
-				return err
-			}
-		}
-		for _, m := range feas {
-			m.fit.Yield = m.cand.Yield()
-		}
-		return nil
-	}
-
-	// --- Initialization (step 0) ---
-	// Designs are drawn sequentially (the run RNG is shared state); their
-	// feasibility checks then run on the worker pool.
-	pop := make([]*member, o.PopSize)
-	for i := range pop {
-		pop[i] = &member{x: problem.RandomDesign(p, rng)}
-	}
-	if err := screen(pop); err != nil {
-		return nil, err
-	}
-	if err := estimate(pop); err != nil {
-		return nil, err
-	}
-	best := 0
-	for i := range pop {
-		if constraint.Better(pop[i].fit, pop[best].fit) {
-			best = i
-		}
-	}
-
-	res := &Result{Problem: p.Name(), Method: o.Method}
-	stall := 0                  // generations without improvement (stop criterion)
-	stallLocal := 0             // generations without improvement (NM trigger)
-	nmStallNeed := o.StallLocal // escalating NM trigger threshold
-	reason := "max-generations"
-
-	popX := make([][]float64, o.PopSize)
-	gen := 0
-	for gen = 1; gen <= o.MaxGenerations; gen++ {
-		if o.Ctx != nil && o.Ctx.Err() != nil {
-			return nil, o.Ctx.Err()
-		}
-		genStart := time.Now()
-		// Steps 1–2: base vector selection, DE mutation and crossover.
-		for i, m := range pop {
-			popX[i] = m.x
-		}
-		trialsX := de.Generation(popX, best, lo, hi, cfg, rng)
-
-		// Steps 3–7: feasibility and method-specific yield estimation.
-		trials := make([]*member, len(trialsX))
-		for i, x := range trialsX {
-			trials[i] = &member{x: x}
-		}
-		if err := screen(trials); err != nil {
-			return nil, err
-		}
-		if err := estimate(trials); err != nil {
-			return nil, err
-		}
-
-		// Step 8: one-to-one selection under Deb's rules.
-		for i, tr := range trials {
-			if constraint.BetterOrEqual(tr.fit, pop[i].fit) {
-				pop[i] = tr
-			}
-		}
-		prevBestFit := pop[best].fit
-		for i := range pop {
-			if constraint.Better(pop[i].fit, pop[best].fit) {
-				best = i
-			}
-		}
-		// Critical solutions deserve accurate estimates (paper §2.3): the
-		// incumbent best is the DE base vector and the reported result, so
-		// it is always held at stage-2 accuracy. This also corrects lucky
-		// stage-1 overestimates that would otherwise ratchet in as an
-		// unbeatable incumbent.
-		if b := pop[best]; b.fit.Feasible && b.cand != nil && b.cand.Samples() < o.MaxSims {
-			b.cand.SetWorkers(o.Workers)
-			if err := b.cand.EnsureSamples(o.MaxSims); err != nil {
-				return nil, err
-			}
-			b.fit.Yield = b.cand.Yield()
-			for i := range pop {
-				if constraint.Better(pop[i].fit, pop[best].fit) {
-					best = i
-				}
-			}
-		}
-		improved := constraint.Better(pop[best].fit, prevBestFit)
-		switch {
-		case improved:
-			stall, stallLocal = 0, 0
-		case !pop[best].fit.Feasible:
-			// The paper's stall criterion is "the yield does not increase
-			// for 20 subsequent generations" — it only starts once there is
-			// a yield to speak of. The constraint-satisfaction phase runs
-			// under the generation cap alone.
-			stall = 0
-			stallLocal = 0
-		default:
-			stall++
-			stallLocal++
-		}
-
-		// Steps 9–10: memetic local refinement of the best member. After an
-		// unsuccessful refinement the trigger threshold escalates, so a
-		// flat optimum is not probed over and over at full cost.
-		if o.Method == MethodMOHECO && stallLocal >= nmStallNeed && pop[best].fit.Feasible {
-			res.NMTriggers++
-			mNMTriggers.Inc()
-			accepted := false
-			better, lerr := localSearch(p, pop[best], o, counter, ycfg, newCandidate, nominal)
-			if lerr != nil {
-				return nil, lerr
-			}
-			if better != nil {
-				if constraint.Better(better.fit, pop[best].fit) {
-					pop[best] = better
-					stall = 0
-					accepted = true
-				}
-			}
-			if accepted {
-				nmStallNeed = o.StallLocal
-			} else {
-				nmStallNeed += o.StallLocal
-			}
-			stallLocal = 0
-		}
-
-		// Bookkeeping.
-		rec := GenRecord{
-			Gen:           gen,
-			BestYield:     pop[best].fit.Yield,
-			BestFeasible:  pop[best].fit.Feasible,
-			BestViolation: pop[best].fit.Violation,
-			CumSims:       counter.Total() - simBase,
-		}
-		mGenerations.Inc()
-		mGenSeconds.Observe(time.Since(genStart).Seconds())
-		for _, tr := range trials {
-			if tr.fit.Feasible {
-				rec.NumFeasible++
-				if o.RecordPopulations && tr.cand != nil {
-					rec.Designs = append(rec.Designs, tr.x)
-					rec.Yields = append(rec.Yields, tr.cand.Yield())
-					rec.SampleCounts = append(rec.SampleCounts, tr.cand.Samples())
-					rec.SimCounts = append(rec.SimCounts, tr.cand.Sims())
-				}
-			}
-		}
-		res.History = append(res.History, rec)
-		if o.OnGeneration != nil {
-			o.OnGeneration(rec)
-		}
-
-		// Step 11: stopping criteria.
-		if pop[best].fit.Feasible && pop[best].fit.Yield >= o.TargetYield {
-			reason = "target-yield"
-			break
-		}
-		if stall >= o.StallStop {
-			reason = "stalled"
-			break
-		}
-	}
-	if gen > o.MaxGenerations {
-		gen = o.MaxGenerations
-	}
-
-	// Final report: the best candidate's yield at full accuracy.
-	b := pop[best]
-	if b.fit.Feasible {
-		if b.cand == nil {
-			b.cand = newCandidate(b.x)
-		}
-		b.cand.SetWorkers(o.Workers)
-		if err := b.cand.EnsureSamples(o.MaxSims); err != nil {
-			return nil, err
-		}
-		b.fit.Yield = b.cand.Yield()
-		res.BestSamples = b.cand.Samples()
-	}
-	res.BestX = append([]float64(nil), b.x...)
-	res.BestYield = b.fit.Yield
-	res.Feasible = b.fit.Feasible
-	res.TotalSims = counter.Total() - simBase
-	res.Generations = gen
-	res.StopReason = reason
-	return res, nil
-}
-
-// localSearch runs the Nelder–Mead refinement around the best member
-// (paper §2.4): each evaluation is a nominal feasibility check plus a
-// full-budget yield estimate, so the operator is kept short and is only
-// worth triggering when DE has stalled. A non-nil error is a simulator
-// failure (a broken batch pipeline, not a failed sample) and aborts the
-// optimization instead of being silently folded into the fitness.
-func localSearch(
-	p problem.Problem,
-	bestM *member,
-	o Options,
-	counter *yieldsim.Counter,
-	ycfg yieldsim.Config,
-	newCandidate func([]float64) *yieldsim.Candidate,
-	nominal func([]float64) constraint.Fitness,
-) (*member, error) {
-	lo, hi := p.Bounds()
-	type evalRec struct {
-		x    []float64
-		fit  constraint.Fitness
-		cand *yieldsim.Candidate
-	}
-	// Interior simplex evaluations run at a reduced budget; only the final
-	// point is verified at full accuracy. This keeps the memetic operator
-	// cheap enough to pay for itself (the paper's NM budget is ~10
-	// full-accuracy iterations; a 10-dimensional simplex would otherwise
-	// burn that on initialization alone).
-	probeSims := o.MaxSims / 3
-	if probeSims < o.SimAve {
-		probeSims = o.SimAve
-	}
-	var evals []evalRec
-	var evalErr error
-	obj := func(x []float64) float64 {
-		if evalErr != nil {
-			// The probe pipeline already failed; stop spending simulations
-			// and let the caller see the recorded error.
-			return 2
-		}
-		fit := nominal(x)
-		rec := evalRec{x: append([]float64(nil), x...), fit: fit}
-		if !fit.Feasible {
-			evals = append(evals, rec)
-			return 1 + fit.Violation
-		}
-		// NM evaluates one point at a time, so the probe's samples get the
-		// full worker pool.
-		cand := newCandidate(x)
-		cand.SetWorkers(o.Workers)
-		if err := cand.AddSamples(probeSims); err != nil {
-			evalErr = fmt.Errorf("core: memetic probe at %v: %w", x, err)
-			return 2
-		}
-		rec.cand = cand
-		rec.fit.Yield = cand.Yield()
-		evals = append(evals, rec)
-		return -rec.fit.Yield
-	}
-	res := nm.Minimize(obj, bestM.x, nm.Options{
-		MaxIter: o.NMIters,
-		Scale:   0.02,
-		Lo:      lo,
-		Hi:      hi,
-	})
-	if evalErr != nil {
-		return nil, evalErr
-	}
-	// Find the evaluation record matching the returned point and verify it
-	// at stage-2 accuracy before offering it back to the population.
-	for i := range evals {
-		if sameVec(evals[i].x, res.X) {
-			e := evals[i]
-			if e.cand != nil {
-				if err := e.cand.EnsureSamples(o.MaxSims); err != nil {
-					return nil, err
-				}
-				e.fit.Yield = e.cand.Yield()
-			}
-			return &member{x: e.x, fit: e.fit, cand: e.cand}, nil
-		}
-	}
-	return nil, nil
-}
-
-func sameVec(a, b []float64) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
-}
-
-// sampleAll tops every member's candidate up to n samples on the engine's
-// worker pool. Per-candidate sample streams are private, so the result is
-// independent of scheduling, and the engine reports errors in candidate
-// order rather than goroutine-completion order.
-func sampleAll(ctx context.Context, ms []*member, workers, n int) error {
-	return engine.ForEachNCtx(ctx, workers, len(ms), func(i int) error {
-		return ms[i].cand.EnsureSamples(n)
-	})
+	return backend.Run(newSearchContext(p, o, backend.Name()))
 }

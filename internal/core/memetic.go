@@ -1,0 +1,268 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/eda-go/moheco/internal/constraint"
+	"github.com/eda-go/moheco/internal/de"
+	"github.com/eda-go/moheco/internal/nm"
+	"github.com/eda-go/moheco/internal/problem"
+	"github.com/eda-go/moheco/internal/yieldsim"
+)
+
+func init() { RegisterOptimizer(memetic{}) }
+
+// memetic is the paper's search backend: DE/best/1/bin with Deb selection
+// and occasional Nelder–Mead refinement of the incumbent (Fig. 4). Ported
+// onto the SearchContext seam unchanged — it is pinned bit-for-bit against
+// the pre-refactor monolithic loop by TestMemeticGoldens.
+type memetic struct{}
+
+// Name implements Optimizer.
+func (memetic) Name() string { return "memetic" }
+
+// Run implements Optimizer.
+func (memetic) Run(sc *SearchContext) (*Result, error) {
+	o := sc.Opts
+	cfg := de.Config{NP: o.PopSize, F: o.F, CR: o.CR}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+
+	// --- Initialization (step 0) ---
+	// Designs are drawn sequentially (the run RNG is shared state); their
+	// feasibility checks then run on the worker pool.
+	pop := make([]*Member, o.PopSize)
+	for i := range pop {
+		pop[i] = &Member{X: problem.RandomDesign(sc.Problem, sc.RNG)}
+	}
+	if err := sc.Screen(pop); err != nil {
+		return nil, err
+	}
+	if err := sc.Estimate(pop); err != nil {
+		return nil, err
+	}
+	best := 0
+	for i := range pop {
+		if constraint.Better(pop[i].Fit, pop[best].Fit) {
+			best = i
+		}
+	}
+
+	stall := 0                  // generations without improvement (stop criterion)
+	stallLocal := 0             // generations without improvement (NM trigger)
+	nmStallNeed := o.StallLocal // escalating NM trigger threshold
+	reason := "max-generations"
+
+	popX := make([][]float64, o.PopSize)
+	gen := 0
+	for gen = 1; gen <= o.MaxGenerations; gen++ {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		genStart := time.Now()
+		// Steps 1–2: base vector selection, DE mutation and crossover.
+		for i, m := range pop {
+			popX[i] = m.X
+		}
+		trialsX := de.Generation(popX, best, sc.Lo, sc.Hi, cfg, sc.RNG)
+
+		// Steps 3–7: feasibility and method-specific yield estimation.
+		trials := make([]*Member, len(trialsX))
+		for i, x := range trialsX {
+			trials[i] = &Member{X: x}
+		}
+		if err := sc.Screen(trials); err != nil {
+			return nil, err
+		}
+		if err := sc.Estimate(trials); err != nil {
+			return nil, err
+		}
+
+		// Step 8: one-to-one selection under Deb's rules.
+		for i, tr := range trials {
+			if constraint.BetterOrEqual(tr.Fit, pop[i].Fit) {
+				pop[i] = tr
+			}
+		}
+		prevBestFit := pop[best].Fit
+		for i := range pop {
+			if constraint.Better(pop[i].Fit, pop[best].Fit) {
+				best = i
+			}
+		}
+		// Critical solutions deserve accurate estimates (paper §2.3): the
+		// incumbent best is the DE base vector and the reported result, so
+		// it is always held at stage-2 accuracy. This also corrects lucky
+		// stage-1 overestimates that would otherwise ratchet in as an
+		// unbeatable incumbent.
+		var perr error
+		if best, perr = sc.PromoteBest(pop, best); perr != nil {
+			return nil, perr
+		}
+		improved := constraint.Better(pop[best].Fit, prevBestFit)
+		switch {
+		case improved:
+			stall, stallLocal = 0, 0
+		case !pop[best].Fit.Feasible:
+			// The paper's stall criterion is "the yield does not increase
+			// for 20 subsequent generations" — it only starts once there is
+			// a yield to speak of. The constraint-satisfaction phase runs
+			// under the generation cap alone.
+			stall = 0
+			stallLocal = 0
+		default:
+			stall++
+			stallLocal++
+		}
+
+		// Steps 9–10: memetic local refinement of the best member. After an
+		// unsuccessful refinement the trigger threshold escalates, so a
+		// flat optimum is not probed over and over at full cost.
+		if o.Method == MethodMOHECO && stallLocal >= nmStallNeed && pop[best].Fit.Feasible {
+			sc.NMTriggered()
+			accepted := false
+			better, lerr := localSearch(sc, pop[best])
+			if lerr != nil {
+				return nil, lerr
+			}
+			if better != nil {
+				if constraint.Better(better.Fit, pop[best].Fit) {
+					pop[best] = better
+					stall = 0
+					accepted = true
+				}
+			}
+			if accepted {
+				nmStallNeed = o.StallLocal
+			} else {
+				nmStallNeed += o.StallLocal
+			}
+			stallLocal = 0
+		}
+
+		// Bookkeeping.
+		rec := GenRecord{
+			Gen:           gen,
+			BestYield:     pop[best].Fit.Yield,
+			BestFeasible:  pop[best].Fit.Feasible,
+			BestViolation: pop[best].Fit.Violation,
+			CumSims:       sc.UsedSims(),
+		}
+		sc.SnapshotTrials(&rec, trials)
+		mGenSeconds.Observe(time.Since(genStart).Seconds())
+		sc.Record(rec)
+
+		// Step 11: stopping criteria.
+		if pop[best].Fit.Feasible && pop[best].Fit.Yield >= o.TargetYield {
+			reason = "target-yield"
+			break
+		}
+		if stall >= o.StallStop {
+			reason = "stalled"
+			break
+		}
+		if sc.BudgetExhausted() {
+			reason = "budget"
+			break
+		}
+	}
+	if gen > o.MaxGenerations {
+		gen = o.MaxGenerations
+	}
+
+	// Final report: the best candidate's yield at full accuracy.
+	return sc.Finalize(pop[best], gen, reason)
+}
+
+// localSearch runs the Nelder–Mead refinement around the best member
+// (paper §2.4): each evaluation is a nominal feasibility check plus a
+// full-budget yield estimate, so the operator is kept short and is only
+// worth triggering when DE has stalled. A non-nil error is a simulator
+// failure (a broken batch pipeline, not a failed sample) and aborts the
+// optimization instead of being silently folded into the fitness.
+func localSearch(sc *SearchContext, bestM *Member) (*Member, error) {
+	o := sc.Opts
+	type evalRec struct {
+		x    []float64
+		fit  constraint.Fitness
+		cand *yieldsim.Candidate
+	}
+	// Interior simplex evaluations run at a reduced budget; only the final
+	// point is verified at full accuracy. This keeps the memetic operator
+	// cheap enough to pay for itself (the paper's NM budget is ~10
+	// full-accuracy iterations; a 10-dimensional simplex would otherwise
+	// burn that on initialization alone).
+	probeSims := o.MaxSims / 3
+	if probeSims < o.SimAve {
+		probeSims = o.SimAve
+	}
+	var evals []evalRec
+	var evalErr error
+	obj := func(x []float64) float64 {
+		if evalErr != nil {
+			// The probe pipeline already failed; stop spending simulations
+			// and let the caller see the recorded error.
+			return 2
+		}
+		fit := sc.Nominal(x)
+		rec := evalRec{x: append([]float64(nil), x...), fit: fit}
+		if !fit.Feasible {
+			evals = append(evals, rec)
+			return 1 + fit.Violation
+		}
+		// NM evaluates one point at a time, so the probe's samples get the
+		// full worker pool.
+		cand := sc.NewCandidate(x)
+		cand.SetWorkers(o.Workers)
+		if err := cand.AddSamples(probeSims); err != nil {
+			evalErr = fmt.Errorf("core: memetic probe at %v: %w", x, err)
+			return 2
+		}
+		rec.cand = cand
+		rec.fit.Yield = cand.Yield()
+		evals = append(evals, rec)
+		return -rec.fit.Yield
+	}
+	res := nm.Minimize(obj, bestM.X, nm.Options{
+		MaxIter: o.NMIters,
+		Scale:   0.02,
+		Lo:      sc.Lo,
+		Hi:      sc.Hi,
+	})
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	// Find the evaluation record matching the returned point and verify it
+	// at stage-2 accuracy before offering it back to the population.
+	for i := range evals {
+		if sameVec(evals[i].x, res.X) {
+			e := evals[i]
+			if e.cand != nil {
+				if err := e.cand.EnsureSamples(o.MaxSims); err != nil {
+					return nil, err
+				}
+				e.fit.Yield = e.cand.Yield()
+			}
+			return &Member{X: e.x, Fit: e.fit, Cand: e.cand}, nil
+		}
+	}
+	// Every point nm.Minimize returns must have passed through obj, which
+	// records it; an unmatched point means the probe bookkeeping is broken
+	// (results would silently lose the refinement), so surface it rather
+	// than fold it into a quiet "no improvement".
+	return nil, fmt.Errorf("core: Nelder–Mead returned point %v absent from the %d recorded probe evaluations", res.X, len(evals))
+}
+
+func sameVec(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/eda-go/moheco/internal/constraint"
+	"github.com/eda-go/moheco/internal/randx"
+	"github.com/eda-go/moheco/internal/sample"
+	"github.com/eda-go/moheco/internal/yieldsim"
+)
+
+// coinProblem is a synthetic yield problem with a known per-design pass
+// probability: a sample passes iff the standard-normal variation value maps
+// below p under the normal CDF, so the true yield at any design is exactly p.
+// The nominal evaluation (nil variation) always passes, keeping every design
+// feasible.
+type coinProblem struct{ p float64 }
+
+func (c coinProblem) Name() string                   { return "coin" }
+func (c coinProblem) Dim() int                       { return 1 }
+func (c coinProblem) VarDim() int                    { return 1 }
+func (c coinProblem) Bounds() ([]float64, []float64) { return []float64{0}, []float64{1} }
+func (c coinProblem) Specs() []constraint.Spec {
+	return []constraint.Spec{{Name: "m", Sense: constraint.AtLeast, Bound: 0}}
+}
+func (c coinProblem) Evaluate(x, xi []float64) ([]float64, error) {
+	if xi == nil {
+		return []float64{1}, nil
+	}
+	if randx.NormCDF(xi[0]) < c.p {
+		return []float64{1}, nil
+	}
+	return []float64{-1}, nil
+}
+
+// TestPromoteBestLoopsUntilStage2 is the regression for the incumbent
+// top-up: when correcting the incumbent's estimate crowns a *different*,
+// still stage-1-estimated member, that member must be topped up (and
+// re-scanned) in turn — a single top-up pass lets its lucky overestimate
+// ratchet in as an unbeatable, inaccurately-estimated incumbent, which is
+// exactly the failure the top-up exists to prevent.
+func TestPromoteBestLoopsUntilStage2(t *testing.T) {
+	const maxSims = 200
+	counter := &yieldsim.Counter{}
+	cfg := yieldsim.Config{Sampler: sample.PMC{}, Workers: 1}
+
+	newMember := func(p float64, n int, seed uint64) *Member {
+		prob := coinProblem{p: p}
+		cand := yieldsim.NewCandidate(prob, []float64{0.5}, cfg, counter, seed)
+		if err := cand.AddSamples(n); err != nil {
+			t.Fatal(err)
+		}
+		return &Member{
+			X:    []float64{0.5},
+			Fit:  constraint.Fitness{Feasible: true, Yield: cand.Yield()},
+			Cand: cand,
+		}
+	}
+
+	// The incumbent: true yield 0.55, estimated from 60 samples — under the
+	// stage-2 budget, so promoteBest tops it up.
+	incumbent := newMember(0.55, 60, 1)
+
+	// The injected optimistic candidate: true yield 0.45, but a 15-sample
+	// stage-1 estimate scanned to read ≥ 0.8 — far above anything the
+	// incumbent's corrected estimate can reach.
+	var lucky *Member
+	for seed := uint64(2); seed < 5000; seed++ {
+		m := newMember(0.45, 15, seed)
+		if m.Fit.Yield >= 0.8 {
+			lucky = m
+			break
+		}
+	}
+	if lucky == nil {
+		t.Fatal("no seed under 5000 produced a 15-sample estimate ≥ 0.8 at true yield 0.45")
+	}
+
+	pop := []*Member{incumbent, lucky}
+	best, err := promoteBest(pop, 0, maxSims, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := pop[best]
+	if got := b.Cand.Samples(); got < maxSims {
+		t.Fatalf("crowned best holds %d samples, want ≥ %d: a stage-1 overestimate ratcheted in", got, maxSims)
+	}
+	if b.Fit.Yield != b.Cand.Yield() {
+		t.Errorf("crowned best's fitness yield %v out of sync with its candidate %v", b.Fit.Yield, b.Cand.Yield())
+	}
+	// Every member the loop visited as best must have been promoted; with
+	// the lucky overestimate corrected to ~0.45, the incumbent (~0.55) must
+	// win in the end.
+	if best != 0 {
+		t.Errorf("crowned best = member %d, want the incumbent (0) once the overestimate is corrected", best)
+	}
+}
+
+// slopeProblem is a synthetic problem whose true yield IS the design value:
+// a sample passes iff the normal CDF of the variation value lies below x[0],
+// so the optimizer has a real gradient to climb and corrupted design vectors
+// visibly change the run.
+type slopeProblem struct{}
+
+func (slopeProblem) Name() string                   { return "slope" }
+func (slopeProblem) Dim() int                       { return 1 }
+func (slopeProblem) VarDim() int                    { return 1 }
+func (slopeProblem) Bounds() ([]float64, []float64) { return []float64{0.05}, []float64{0.95} }
+func (slopeProblem) Specs() []constraint.Spec {
+	return []constraint.Spec{{Name: "m", Sense: constraint.AtLeast, Bound: 0}}
+}
+func (slopeProblem) Evaluate(x, xi []float64) ([]float64, error) {
+	if xi == nil {
+		return []float64{1}, nil
+	}
+	if randx.NormCDF(xi[0]) < x[0] {
+		return []float64{1}, nil
+	}
+	return []float64{-1}, nil
+}
+
+// TestGenRecordDesignsDetached pins the OnGeneration/History ownership
+// contract from the other side: the design vectors in a generation record
+// are private copies, so a caller writing into them (hostile or buggy)
+// cannot corrupt the optimizer's live population state or the recorded
+// history of later generations.
+func TestGenRecordDesignsDetached(t *testing.T) {
+	run := func(mutate bool) *Result {
+		o := DefaultOptions(MethodFixedBudget, 60)
+		o.PopSize = 12
+		o.MaxGenerations = 6
+		o.FixedSims = 40
+		o.Seed = 17
+		o.RecordPopulations = true
+		if mutate {
+			o.OnGeneration = func(r GenRecord) {
+				for _, d := range r.Designs {
+					for i := range d {
+						d[i] = -1e9
+					}
+				}
+			}
+		}
+		res, err := Optimize(slopeProblem{}, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	clean := run(false)
+	dirty := run(true)
+	if clean.BestYield != dirty.BestYield || clean.TotalSims != dirty.TotalSims ||
+		clean.Generations != dirty.Generations {
+		t.Fatalf("a mutating OnGeneration callback changed the run: clean yield=%v sims=%d gens=%d, dirty yield=%v sims=%d gens=%d",
+			clean.BestYield, clean.TotalSims, clean.Generations,
+			dirty.BestYield, dirty.TotalSims, dirty.Generations)
+	}
+	for i := range clean.BestX {
+		if clean.BestX[i] != dirty.BestX[i] {
+			t.Fatalf("BestX[%d] diverged under a mutating callback: %v vs %v", i, clean.BestX[i], dirty.BestX[i])
+		}
+	}
+	// The mutating run's own history must also be intact everywhere except
+	// the vandalized copies themselves.
+	for g, r := range dirty.History {
+		if r.BestYield != clean.History[g].BestYield || r.CumSims != clean.History[g].CumSims {
+			t.Fatalf("history diverged at generation %d", g+1)
+		}
+	}
+}

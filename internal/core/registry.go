@@ -1,0 +1,71 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// DefaultBackend is the backend Options.Backend resolves to when empty: the
+// paper's memetic DE+NM loop.
+const DefaultBackend = "memetic"
+
+// Optimizer is a pluggable search backend. A backend owns the search
+// strategy only; everything budget-related — nominal screening, two-stage /
+// fixed-budget yield estimation, stage-2 top-ups, simulation accounting,
+// cancellation, per-generation records — comes from the SearchContext, so
+// every backend inherits the same determinism and accounting contract.
+type Optimizer interface {
+	// Name is the registry key (Options.Backend, `-optimizer NAME`).
+	Name() string
+	// Run drives the search to completion and returns the assembled
+	// result, normally via SearchContext.Finalize.
+	Run(sc *SearchContext) (*Result, error)
+}
+
+var (
+	optMu      sync.RWMutex
+	optimizers = map[string]Optimizer{}
+)
+
+// RegisterOptimizer adds a search backend to the registry. It panics on an
+// empty name or a duplicate registration — programming errors in an init
+// function, not runtime conditions.
+func RegisterOptimizer(o Optimizer) {
+	name := o.Name()
+	if name == "" {
+		panic("core: optimizer registered with empty name")
+	}
+	optMu.Lock()
+	defer optMu.Unlock()
+	if _, dup := optimizers[name]; dup {
+		panic(fmt.Sprintf("core: optimizer %q registered twice", name))
+	}
+	optimizers[name] = o
+}
+
+// Backends returns the registered backend names, sorted.
+func Backends() []string {
+	optMu.RLock()
+	defer optMu.RUnlock()
+	names := make([]string, 0, len(optimizers))
+	for n := range optimizers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// optimizerFor resolves a backend by name. The error lists the registered
+// names, so a tool's "unknown optimizer" message is self-serving.
+func optimizerFor(name string) (Optimizer, error) {
+	optMu.RLock()
+	o, ok := optimizers[name]
+	optMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("core: unknown optimizer backend %q (registered: %s)",
+			name, strings.Join(Backends(), ", "))
+	}
+	return o, nil
+}

@@ -1,0 +1,260 @@
+package exp
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"github.com/eda-go/moheco/internal/core"
+	"github.com/eda-go/moheco/internal/engine"
+	_ "github.com/eda-go/moheco/internal/lineasybo" // register the BO backend for races
+	"github.com/eda-go/moheco/internal/randx"
+	"github.com/eda-go/moheco/internal/scenario"
+	"github.com/eda-go/moheco/internal/stats"
+	"github.com/eda-go/moheco/internal/yieldsim"
+)
+
+// RaceConfig sets up an equal-budget optimizer race in the protocol of
+// Rashid et al. (PAPERS.md): every registered backend runs the same
+// scenarios from the same repeat seeds, each run capped at the same
+// simulation budget through the run's shared yieldsim.Counter, and the
+// comparison is yield at budget — not iterations, not generations, which
+// different searchers define differently.
+type RaceConfig struct {
+	// Backends are the core registry names to race; empty means every
+	// registered backend.
+	Backends []string
+	// Scenarios are the workloads to race on; empty means every registered
+	// scenario.
+	Scenarios []string
+	// Repeats is the number of independent runs per (backend, scenario)
+	// cell. Repeat seeds are shared across backends: run r of scenario s
+	// starts from the same seed whatever the searcher.
+	Repeats int
+	// SimBudget caps each run's simulator calls (Options.SimBudget).
+	SimBudget int64
+	// MaxSims is the stage-2 per-candidate budget; 0 means the scenario's
+	// default.
+	MaxSims int
+	// MaxGens caps generations/rounds per run (0 = the optimizer default).
+	MaxGens int
+	// Seed derives all per-run seeds.
+	Seed uint64
+	// Workers bounds engine parallelism across and inside runs.
+	Workers int
+	// Progress, when non-nil, receives one line per completed run.
+	Progress io.Writer
+}
+
+// progressWriter returns cfg.Progress wrapped for concurrent writes, or nil.
+func (c RaceConfig) progressWriter() io.Writer {
+	if c.Progress == nil {
+		return nil
+	}
+	return &syncWriter{w: c.Progress}
+}
+
+// RaceRun is one optimization run's outcome inside the race.
+type RaceRun struct {
+	Backend     string  `json:"backend"`
+	Scenario    string  `json:"scenario"`
+	Run         int     `json:"run"`
+	Seed        uint64  `json:"seed"`
+	Yield       float64 `json:"yield"`
+	Feasible    bool    `json:"feasible"`
+	Sims        int64   `json:"sims"`
+	Generations int     `json:"generations"`
+	StopReason  string  `json:"stop_reason"`
+}
+
+// RaceCell aggregates one (backend, scenario) cell of the race grid.
+type RaceCell struct {
+	Backend      string `json:"backend"`
+	Scenario     string `json:"scenario"`
+	FeasibleRuns int    `json:"feasible_runs"`
+	Runs         int    `json:"runs"`
+	// Yield summarizes yield-at-budget over all runs, an infeasible run
+	// counting as 0. stats.Summary orders by "smaller is better", so for
+	// yields Best is the LOWEST observed yield and Worst the highest.
+	Yield stats.Summary `json:"yield"`
+	Sims  stats.Summary `json:"sims"`
+}
+
+// RaceResult is the full race outcome: the per-run rows and the aggregated
+// grid, under one shared budget.
+type RaceResult struct {
+	SimBudget int64      `json:"sim_budget"`
+	Repeats   int        `json:"repeats"`
+	Seed      uint64     `json:"seed"`
+	Cells     []RaceCell `json:"cells"`
+	Runs      []RaceRun  `json:"runs"`
+}
+
+// RunRace executes the race grid. Runs are independent — each derives its
+// seed from (scenario, repeat) so a backend never sees a seed another
+// backend didn't — and fan out on the engine's worker pool; results are
+// collected in grid order, so the outcome is identical for every worker
+// count.
+func RunRace(cfg RaceConfig) (*RaceResult, error) {
+	backends := cfg.Backends
+	if len(backends) == 0 {
+		backends = core.Backends()
+	}
+	scenarios := cfg.Scenarios
+	if len(scenarios) == 0 {
+		scenarios = scenario.Names()
+	}
+	if cfg.Repeats <= 0 {
+		cfg.Repeats = 1
+	}
+	if cfg.SimBudget <= 0 {
+		return nil, fmt.Errorf("exp: race needs a positive SimBudget, got %d", cfg.SimBudget)
+	}
+	type cell struct {
+		backend, scen string
+		run           int
+	}
+	var grid []cell
+	for _, b := range backends {
+		for _, s := range scenarios {
+			if _, err := scenario.Get(s); err != nil {
+				return nil, err
+			}
+			for r := 0; r < cfg.Repeats; r++ {
+				grid = append(grid, cell{backend: b, scen: s, run: r})
+			}
+		}
+	}
+	inner := engine.Split(cfg.Workers, len(grid))
+	progress := cfg.progressWriter()
+	runs, err := engine.Map(cfg.Workers, len(grid), func(i int) (RaceRun, error) {
+		c := grid[i]
+		sc := scenario.MustGet(c.scen)
+		maxSims := cfg.MaxSims
+		if maxSims == 0 {
+			maxSims = sc.DefaultMaxSims
+		}
+		// Seeds are derived from the scenario and repeat only: every
+		// backend races the same seed on the same workload.
+		seed := randx.DeriveSeed(cfg.Seed, 0xace, uint64(scenarioIndex(scenarios, c.scen)), uint64(c.run))
+		opts := core.DefaultOptions(core.MethodMOHECO, maxSims)
+		opts.Backend = c.backend
+		opts.SimBudget = cfg.SimBudget
+		opts.Seed = seed
+		opts.Workers = inner
+		if cfg.MaxGens > 0 {
+			opts.MaxGenerations = cfg.MaxGens
+		}
+		// The race's budget accounting flows through one shared counter
+		// per run — the same counter the backend's screen, estimation and
+		// top-up paths all charge.
+		opts.Counter = &yieldsim.Counter{}
+		res, err := core.Optimize(sc.New(), opts)
+		if err != nil {
+			return RaceRun{}, fmt.Errorf("race %s/%s run %d: %w", c.backend, c.scen, c.run, err)
+		}
+		rr := RaceRun{
+			Backend:     c.backend,
+			Scenario:    c.scen,
+			Run:         c.run,
+			Seed:        seed,
+			Feasible:    res.Feasible,
+			Sims:        res.TotalSims,
+			Generations: res.Generations,
+			StopReason:  res.StopReason,
+		}
+		if res.Feasible {
+			rr.Yield = res.BestYield
+		}
+		if progress != nil {
+			fmt.Fprintf(progress, "race: %s/%s run %d/%d: yield=%.4f sims=%d stop=%s\n",
+				c.backend, c.scen, c.run+1, cfg.Repeats, rr.Yield, rr.Sims, rr.StopReason)
+		}
+		return rr, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &RaceResult{SimBudget: cfg.SimBudget, Repeats: cfg.Repeats, Seed: cfg.Seed, Runs: runs}
+	for _, b := range backends {
+		for _, s := range scenarios {
+			rc := RaceCell{Backend: b, Scenario: s}
+			var yields, sims []float64
+			for _, r := range runs {
+				if r.Backend != b || r.Scenario != s {
+					continue
+				}
+				rc.Runs++
+				if r.Feasible {
+					rc.FeasibleRuns++
+				}
+				yields = append(yields, r.Yield)
+				sims = append(sims, float64(r.Sims))
+			}
+			rc.Yield = stats.Summarize(yields)
+			rc.Sims = stats.Summarize(sims)
+			out.Cells = append(out.Cells, rc)
+		}
+	}
+	return out, nil
+}
+
+func scenarioIndex(names []string, name string) int {
+	for i, n := range names {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Render writes the race grid as a text table: yield at budget per backend
+// and scenario.
+func (r *RaceResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "equal-budget optimizer race — yield at %d simulations (%d repeats)\n",
+		r.SimBudget, r.Repeats)
+	fmt.Fprintf(w, "%-14s %-24s %10s %10s %10s %10s %9s\n",
+		"backend", "scenario", "best", "worst", "average", "avg sims", "feasible")
+	for _, c := range r.Cells {
+		// Summary orders by "smaller is better": for yields the highest
+		// (best) value sits in Worst and vice versa.
+		fmt.Fprintf(w, "%-14s %-24s %9.2f%% %9.2f%% %9.2f%% %10.0f %6d/%d\n",
+			c.Backend, c.Scenario, 100*c.Yield.Worst, 100*c.Yield.Best, 100*c.Yield.Average,
+			c.Sims.Average, c.FeasibleRuns, c.Runs)
+	}
+}
+
+// WriteCSV exports the per-run race rows for external plotting.
+func (r *RaceResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{
+		"backend", "scenario", "run", "seed", "sim_budget",
+		"yield", "feasible", "sims", "generations", "stop_reason",
+	}); err != nil {
+		return err
+	}
+	for _, rr := range r.Runs {
+		rec := []string{
+			rr.Backend, rr.Scenario, strconv.Itoa(rr.Run), strconv.FormatUint(rr.Seed, 10),
+			strconv.FormatInt(r.SimBudget, 10),
+			fmtF(rr.Yield), strconv.FormatBool(rr.Feasible), strconv.FormatInt(rr.Sims, 10),
+			strconv.Itoa(rr.Generations), rr.StopReason,
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSON exports the race result in the BENCH_optimizers.json shape CI
+// uploads next to the other snapshots.
+func (r *RaceResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

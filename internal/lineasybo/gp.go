@@ -1,0 +1,156 @@
+package lineasybo
+
+import (
+	"fmt"
+	"math"
+)
+
+// gp is a tiny fixed-hyperparameter Gaussian process used as the surrogate
+// for the one-dimensional-subspace acquisition search. Inputs are design
+// vectors normalized to the unit cube; the kernel is squared-exponential
+// with an isotropic lengthscale, the signal variance is set from the sample
+// variance of the targets, and the noise floor absorbs the Monte-Carlo
+// estimator's own variance. Everything is closed-form float math over slices
+// in a fixed order, so a fit is bit-deterministic for a given training set.
+type gp struct {
+	xs    [][]float64
+	alpha []float64 // (K + σn²I)⁻¹ (y − mean)
+	chol  [][]float64
+	mean  float64
+	ls2   float64 // lengthscale²
+	sf2   float64 // signal variance
+}
+
+// gpNoise is the observation-noise floor. Stage-1 yield estimates carry
+// binomial noise of up to ~(0.5)²/n0; this keeps the Cholesky well
+// conditioned without drowning the signal.
+const gpNoise = 5e-3
+
+// fitGP fits the surrogate on normalized inputs xs and targets ys.
+func fitGP(xs [][]float64, ys []float64, lengthscale float64) (*gp, error) {
+	n := len(xs)
+	if n == 0 || n != len(ys) {
+		return nil, fmt.Errorf("lineasybo: GP fit on %d inputs, %d targets", n, len(ys))
+	}
+	g := &gp{xs: xs, ls2: lengthscale * lengthscale}
+	for _, y := range ys {
+		g.mean += y
+	}
+	g.mean /= float64(n)
+	for _, y := range ys {
+		d := y - g.mean
+		g.sf2 += d * d
+	}
+	g.sf2 /= float64(n)
+	if g.sf2 < 1e-6 {
+		g.sf2 = 1e-6
+	}
+	k := make([][]float64, n)
+	for i := range k {
+		k[i] = make([]float64, n)
+		for j := 0; j <= i; j++ {
+			v := g.kernel(xs[i], xs[j])
+			k[i][j] = v
+			if i == j {
+				k[i][i] += gpNoise
+			}
+		}
+	}
+	chol, err := cholesky(k)
+	if err != nil {
+		return nil, err
+	}
+	g.chol = chol
+	resid := make([]float64, n)
+	for i, y := range ys {
+		resid[i] = y - g.mean
+	}
+	g.alpha = cholSolve(chol, resid)
+	return g, nil
+}
+
+func (g *gp) kernel(a, b []float64) float64 {
+	var d2 float64
+	for i := range a {
+		d := a[i] - b[i]
+		d2 += d * d
+	}
+	return g.sf2 * math.Exp(-0.5*d2/g.ls2)
+}
+
+// predict returns the posterior mean and variance at a normalized point.
+func (g *gp) predict(x []float64) (mu, sigma2 float64) {
+	kx := make([]float64, len(g.xs))
+	for i, xi := range g.xs {
+		kx[i] = g.kernel(x, xi)
+	}
+	mu = g.mean
+	for i, a := range g.alpha {
+		mu += kx[i] * a
+	}
+	// σ² = k(x,x) − kxᵀ (K + σn²I)⁻¹ kx, via one triangular solve.
+	v := forwardSolve(g.chol, kx)
+	sigma2 = g.sf2 + gpNoise
+	for _, vi := range v {
+		sigma2 -= vi * vi
+	}
+	if sigma2 < 0 {
+		sigma2 = 0
+	}
+	return mu, sigma2
+}
+
+// cholesky returns the lower-triangular factor L with A = L·Lᵀ. A must be
+// symmetric positive definite (the noise floor guarantees it for sane
+// inputs).
+func cholesky(a [][]float64) ([][]float64, error) {
+	n := len(a)
+	l := make([][]float64, n)
+	for i := range l {
+		l[i] = make([]float64, i+1)
+		for j := 0; j <= i; j++ {
+			sum := a[i][j]
+			for k := 0; k < j; k++ {
+				sum -= l[i][k] * l[j][k]
+			}
+			if i == j {
+				if sum <= 0 {
+					return nil, fmt.Errorf("lineasybo: kernel matrix not positive definite at row %d", i)
+				}
+				l[i][i] = math.Sqrt(sum)
+			} else {
+				l[i][j] = sum / l[j][j]
+			}
+		}
+	}
+	return l, nil
+}
+
+// forwardSolve solves L·v = b for lower-triangular L.
+func forwardSolve(l [][]float64, b []float64) []float64 {
+	n := len(l)
+	v := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		for k := 0; k < i; k++ {
+			sum -= l[i][k] * v[k]
+		}
+		v[i] = sum / l[i][i]
+	}
+	return v
+}
+
+// cholSolve solves (L·Lᵀ)·x = b.
+func cholSolve(l [][]float64, b []float64) []float64 {
+	n := len(l)
+	v := forwardSolve(l, b)
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := v[i]
+		for k := i + 1; k < n; k++ {
+			sum -= l[k][i] * x[k]
+		}
+		x[i] = sum / l[i][i]
+	}
+	return x
+}

@@ -1,0 +1,116 @@
+package lineasybo_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/eda-go/moheco/internal/circuits"
+	"github.com/eda-go/moheco/internal/core"
+	"github.com/eda-go/moheco/internal/lineasybo"
+	"github.com/eda-go/moheco/internal/yieldsim"
+)
+
+func testOptions(workers int) core.Options {
+	o := core.DefaultOptions(core.MethodMOHECO, 60)
+	o.Backend = lineasybo.Name
+	o.PopSize = 12
+	o.MaxGenerations = 15
+	o.N0 = 8
+	o.SimAve = 12
+	o.Delta = 5
+	o.Seed = 7
+	o.Workers = workers
+	// Unreachable target: keep every round in play so the determinism
+	// comparison covers the full trajectory, not a lucky early exit.
+	o.TargetYield = 1.1
+	return o
+}
+
+// TestRegistered pins the registry wiring: the blank-import side effect
+// makes the backend reachable by name, and results carry that name.
+func TestRegistered(t *testing.T) {
+	found := false
+	for _, name := range core.Backends() {
+		if name == lineasybo.Name {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("backend %q not in core.Backends() = %v", lineasybo.Name, core.Backends())
+	}
+	res, err := core.Optimize(circuits.NewCommonSource(), testOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Backend != lineasybo.Name {
+		t.Fatalf("Result.Backend = %q, want %q", res.Backend, lineasybo.Name)
+	}
+}
+
+// TestSeedDeterminism is the backend's reproducibility pin: a fixed seed
+// yields the byte-identical Result on repeated runs.
+func TestSeedDeterminism(t *testing.T) {
+	a, err := core.Optimize(circuits.NewCommonSource(), testOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := core.Optimize(circuits.NewCommonSource(), testOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("two identical runs diverged:\n a: %+v\n b: %+v", a, b)
+	}
+}
+
+// TestWorkersDoNotChangeResults extends the engine's core guarantee to the
+// BO backend: a sequential run and a heavily parallel run of the same seed
+// produce the byte-identical Result.
+func TestWorkersDoNotChangeResults(t *testing.T) {
+	seq, err := core.Optimize(circuits.NewCommonSource(), testOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := core.Optimize(circuits.NewCommonSource(), testOptions(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("Workers=1 and Workers=8 diverged:\n seq: %+v\n par: %+v", seq, par)
+	}
+}
+
+// TestCancelStopsCounter cancels the run from inside a generation callback
+// and verifies the optimizer surfaces the cancellation and stops spending
+// simulations: the shared counter must be quiescent once Optimize returns.
+func TestCancelStopsCounter(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	counter := &yieldsim.Counter{}
+	o := testOptions(4)
+	o.MaxGenerations = 10_000
+	o.Ctx = ctx
+	o.Counter = counter
+	rounds := 0
+	o.OnGeneration = func(core.GenRecord) {
+		rounds++
+		if rounds == 3 {
+			cancel()
+		}
+	}
+	_, err := core.Optimize(circuits.NewCommonSource(), o)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run returned %v, want context.Canceled", err)
+	}
+	spent := counter.Total()
+	if spent == 0 {
+		t.Fatal("counter recorded no simulations before cancellation")
+	}
+	time.Sleep(50 * time.Millisecond)
+	if got := counter.Total(); got != spent {
+		t.Fatalf("counter kept running after Optimize returned: %d → %d", spent, got)
+	}
+}

@@ -108,3 +108,41 @@ func TestSequencerBudgetAccounting(t *testing.T) {
 		t.Errorf("spend %d outside [%d, %d]", used, budget, budget+10*len(cands))
 	}
 }
+
+// callCountingCand flags any AddSamples call with a non-positive argument.
+type callCountingCand struct {
+	fakeCand
+	calls []int
+}
+
+func (c *callCountingCand) AddSamples(n int) error {
+	c.calls = append(c.calls, n)
+	return c.fakeCand.AddSamples(n)
+}
+
+// TestRunIncrementsSkipsNonPositive pins the executor contract the two-stage
+// flow's clamp relies on: zero and negative increments never reach the
+// candidate at any worker count.
+func TestRunIncrementsSkipsNonPositive(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		cands := []Candidate{
+			&callCountingCand{fakeCand: fakeCand{p: 0.5, state: 31}},
+			&callCountingCand{fakeCand: fakeCand{p: 0.5, state: 32}},
+			&callCountingCand{fakeCand: fakeCand{p: 0.5, state: 33}},
+		}
+		if err := RunIncrements(workers, cands, []int{0, -25, 40}); err != nil {
+			t.Fatal(err)
+		}
+		for i, want := range [][]int{nil, nil, {40}} {
+			got := cands[i].(*callCountingCand).calls
+			if len(got) != len(want) {
+				t.Fatalf("workers=%d cand %d: AddSamples calls %v, want %v", workers, i, got, want)
+			}
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("workers=%d cand %d: AddSamples calls %v, want %v", workers, i, got, want)
+				}
+			}
+		}
+	}
+}

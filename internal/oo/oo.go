@@ -68,7 +68,14 @@ func (m *Manager) Evaluate(cands []ocba.Candidate) ([]Stage, error) {
 	adds := make([]int, len(cands))
 	for i, c := range cands {
 		if c.Yield() > m.Threshold {
-			adds[i] = m.MaxSims - c.Samples()
+			// Clamp to zero: a promoted candidate may already exceed the
+			// stage-2 budget (a carried-over incumbent the optimizer topped
+			// up in an earlier generation), and a negative increment must
+			// stay a no-op by construction here, not by courtesy of the
+			// executor. Such a candidate is already stage-2 accurate.
+			if add := m.MaxSims - c.Samples(); add > 0 {
+				adds[i] = add
+			}
 			stages[i] = Stage2
 		}
 	}

@@ -134,3 +134,44 @@ func TestOrdinalSelectionEfficiency(t *testing.T) {
 		t.Errorf("OO spent %d samples; uniform would be %d", total, 500*len(cands))
 	}
 }
+
+// recordingCand wraps bernoulli and records every AddSamples argument, so
+// tests can assert exactly which increments the two-stage flow requests.
+type recordingCand struct {
+	bernoulli
+	calls []int
+}
+
+func (r *recordingCand) AddSamples(n int) error {
+	r.calls = append(r.calls, n)
+	return r.bernoulli.AddSamples(n)
+}
+
+// TestEvaluateClampsOverBudgetPromotion is the regression for the stage-2
+// increment computation: a promoted candidate arriving with more samples
+// than MaxSims (a carried-over incumbent the optimizer already topped up
+// past the stage-2 budget) must get a zero increment, never a negative one —
+// and must still be reported as Stage2.
+func TestEvaluateClampsOverBudgetPromotion(t *testing.T) {
+	m := NewManager(400)
+	over := &recordingCand{bernoulli: bernoulli{p: 1.0, state: 21}}
+	// Arrive above the stage-2 budget with a promotable (100%) estimate.
+	if err := over.bernoulli.AddSamples(450); err != nil {
+		t.Fatal(err)
+	}
+	stages, err := m.Evaluate([]ocba.Candidate{over})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stages[0] != Stage2 {
+		t.Errorf("over-budget promotable candidate staged as %v, want Stage2", stages[0])
+	}
+	for _, n := range over.calls {
+		if n <= 0 {
+			t.Errorf("Evaluate requested a non-positive increment %d", n)
+		}
+	}
+	if got := over.Samples(); got != 450 {
+		t.Errorf("candidate sample count moved from 450 to %d", got)
+	}
+}

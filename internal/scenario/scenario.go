@@ -131,13 +131,21 @@ type Info struct {
 	HasNetlist        bool      `json:"has_netlist"`
 	HasTran           bool      `json:"has_tran"`
 	ReferenceDesign   []float64 `json:"reference_design,omitempty"`
+	// Optimizers advertises the search backends a client may name in an
+	// optimize request. The scenario registry itself is backend-agnostic —
+	// Describe leaves this empty and the serving layer fills it from the
+	// core optimizer registry (this package must stay importable from
+	// core's own tests, so it cannot depend on core).
+	Optimizers []string `json:"optimizers,omitempty"`
 }
 
 // TranCapable reports whether p carries a configurable transient stage (the
 // capability the service's tran-window resolution and the CLIs' transient
 // flags target).
 func TranCapable(p problem.Problem) bool {
-	_, ok := p.(interface{ TranWindow() (tstop, step float64, fixed bool) })
+	_, ok := p.(interface {
+		TranWindow() (tstop, step float64, fixed bool)
+	})
 	return ok
 }
 

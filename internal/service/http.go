@@ -9,6 +9,7 @@ import (
 	"runtime"
 	"time"
 
+	"github.com/eda-go/moheco/internal/core"
 	"github.com/eda-go/moheco/internal/obs"
 	"github.com/eda-go/moheco/internal/scenario"
 )
@@ -223,7 +224,15 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"scenarios": scenario.Describe()})
+	// Every scenario accepts every registered search backend: the
+	// estimation seam is scenario-agnostic, so the advertisement is the
+	// core registry, stamped per scenario for client convenience.
+	infos := scenario.Describe()
+	backends := core.Backends()
+	for i := range infos {
+		infos[i].Optimizers = backends
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"scenarios": infos, "optimizers": backends})
 }
 
 func (s *Server) handleSubmitYield(w http.ResponseWriter, r *http.Request) {

@@ -35,10 +35,13 @@ func yieldKey(spec YieldSpec) string {
 	return b.String()
 }
 
-// optimizeKey canonicalizes a resolved optimize request (Seed non-nil).
+// optimizeKey canonicalizes a resolved optimize request (Seed and Optimizer
+// non-empty). The optimizer backend is part of the computation's identity:
+// two requests differing only in the searcher must never coalesce onto one
+// cached job, however equal the rest of the request looks.
 func optimizeKey(req OptimizeRequest) string {
-	return fmt.Sprintf("optimize|%s|method=%s|maxsims=%d|maxgens=%d|seed=%d",
-		req.Scenario, req.Method, req.MaxSims, req.MaxGens, *req.Seed)
+	return fmt.Sprintf("optimize|%s|method=%s|optimizer=%s|maxsims=%d|maxgens=%d|seed=%d",
+		req.Scenario, req.Method, req.Optimizer, req.MaxSims, req.MaxGens, *req.Seed)
 }
 
 // shardKey canonicalizes one shard — a chunk range [first, last) of a

@@ -32,8 +32,8 @@
 package service
 
 import (
-	"context"
 	"container/list"
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -41,15 +41,28 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"github.com/eda-go/moheco/internal/core"
+	_ "github.com/eda-go/moheco/internal/lineasybo" // register the BO optimizer backend
 	"github.com/eda-go/moheco/internal/obs"
 	"github.com/eda-go/moheco/internal/sample"
 	"github.com/eda-go/moheco/internal/scenario"
 	"github.com/eda-go/moheco/internal/yieldsim"
 )
+
+// backendRegistered reports whether name is a registered core optimizer
+// backend.
+func backendRegistered(name string) bool {
+	for _, b := range core.Backends() {
+		if b == name {
+			return true
+		}
+	}
+	return false
+}
 
 // Config tunes the server; the zero value is usable.
 type Config struct {
@@ -313,20 +326,25 @@ type YieldResult struct {
 
 // OptimizeRequest asks for a full yield optimization with the paper's
 // default parameters. Omitted fields resolve to: Method "moheco",
-// MaxSims the scenario default, MaxGens 300, Seed 1 (a pointer for the
-// same seed-0 reason as YieldRequest).
+// Optimizer "memetic", MaxSims the scenario default, MaxGens 300, Seed 1
+// (a pointer for the same seed-0 reason as YieldRequest).
 type OptimizeRequest struct {
-	Scenario string  `json:"scenario"`
-	Method   string  `json:"method,omitempty"`
-	MaxSims  int     `json:"max_sims,omitempty"`
-	MaxGens  int     `json:"max_gens,omitempty"`
-	Seed     *uint64 `json:"seed,omitempty"`
+	Scenario string `json:"scenario"`
+	Method   string `json:"method,omitempty"`
+	// Optimizer names the search backend from the core registry
+	// (GET /v1/scenarios advertises the available names). Method picks the
+	// yield-estimation flow; Optimizer picks the searcher driving it.
+	Optimizer string  `json:"optimizer,omitempty"`
+	MaxSims   int     `json:"max_sims,omitempty"`
+	MaxGens   int     `json:"max_gens,omitempty"`
+	Seed      *uint64 `json:"seed,omitempty"`
 }
 
 // OptimizeResult is a completed optimize job's payload.
 type OptimizeResult struct {
 	Scenario    string    `json:"scenario"`
 	Method      string    `json:"method"`
+	Optimizer   string    `json:"optimizer"`
 	Seed        uint64    `json:"seed"`
 	Feasible    bool      `json:"feasible"`
 	BestX       []float64 `json:"best_x,omitempty"`
@@ -833,6 +851,13 @@ func (s *Server) SubmitOptimize(req OptimizeRequest) (*Job, bool, error) {
 	default:
 		return nil, false, fmt.Errorf("service: unknown method %q (moheco | oo | fixed)", req.Method)
 	}
+	if req.Optimizer == "" {
+		req.Optimizer = core.DefaultBackend
+	}
+	if !backendRegistered(req.Optimizer) {
+		return nil, false, fmt.Errorf("service: unknown optimizer %q (registered: %s)",
+			req.Optimizer, strings.Join(core.Backends(), ", "))
+	}
 	key := optimizeKey(req)
 	run := func(ctx context.Context, j *Job) error {
 		start := time.Now()
@@ -851,6 +876,7 @@ func (s *Server) SubmitOptimize(req OptimizeRequest) (*Job, bool, error) {
 			folded = t
 		}
 		opts := core.DefaultOptions(m, req.MaxSims)
+		opts.Backend = req.Optimizer
 		opts.Seed = seed
 		opts.MaxGenerations = req.MaxGens
 		opts.Workers = s.cfg.Workers
@@ -885,6 +911,7 @@ func (s *Server) SubmitOptimize(req OptimizeRequest) (*Job, bool, error) {
 		j.optimize = &OptimizeResult{
 			Scenario:    req.Scenario,
 			Method:      req.Method,
+			Optimizer:   res.Backend,
 			Seed:        seed,
 			Feasible:    res.Feasible,
 			BestX:       res.BestX,

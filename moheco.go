@@ -31,6 +31,7 @@ import (
 	"github.com/eda-go/moheco/internal/circuits"
 	"github.com/eda-go/moheco/internal/constraint"
 	"github.com/eda-go/moheco/internal/core"
+	_ "github.com/eda-go/moheco/internal/lineasybo" // register the BO optimizer backend
 	"github.com/eda-go/moheco/internal/problem"
 	"github.com/eda-go/moheco/internal/yieldsim"
 )
@@ -67,6 +68,14 @@ type (
 	Result    = core.Result
 	GenRecord = core.GenRecord
 )
+
+// Backends returns the registered search-backend names accepted by
+// Options.Backend: "memetic" (the paper's DE+NM loop, the default) and
+// "lineasybo" (one-dimensional-subspace Bayesian optimization) ship
+// built in. All backends share the estimation machinery — two-stage OO or
+// fixed-budget Monte-Carlo, the simulation counter, cancellation and the
+// fixed-seed determinism contract.
+func Backends() []string { return core.Backends() }
 
 // DefaultOptions returns the paper's parameter settings (population 50,
 // F = CR = 0.8, n0 = 15, simAve = 35, 97% promotion threshold, stall limits
